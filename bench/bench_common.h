@@ -1,0 +1,83 @@
+// Shared helpers for the figure benches: environment-driven sizing so quick local
+// iterations (VSCALE_BENCH_SEEDS=1) and thorough regenerations (=3, the paper's
+// three-run averages) use the same binaries.
+
+#ifndef VSCALE_BENCH_BENCH_COMMON_H_
+#define VSCALE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/base/table.h"
+#include "src/workloads/campaign.h"
+
+namespace vscale {
+
+inline std::vector<uint64_t> BenchSeeds() {
+  int n = 1;
+  if (const char* env = std::getenv("VSCALE_BENCH_SEEDS")) {
+    n = std::atoi(env);
+  }
+  static const uint64_t kSeeds[] = {42, 137, 999, 2024, 5150};
+  std::vector<uint64_t> seeds;
+  for (int i = 0; i < n && i < 5; ++i) {
+    seeds.push_back(kSeeds[i]);
+  }
+  if (seeds.empty()) {
+    seeds.push_back(42);
+  }
+  return seeds;
+}
+
+inline CampaignConfig MakeCampaign(int vcpus) {
+  CampaignConfig cfg;
+  cfg.vcpus = vcpus;
+  cfg.seeds = BenchSeeds();
+  return cfg;
+}
+
+// Prints a normalized-execution-time figure: one row per app, one column per policy.
+inline void PrintNormalizedFigure(const std::string& title,
+                                  const std::vector<CellResult>& cells,
+                                  const std::vector<Policy>& policies) {
+  std::printf("%s\n", title.c_str());
+  std::vector<std::string> headers = {"app"};
+  for (Policy p : policies) {
+    headers.push_back(ToString(p));
+  }
+  TextTable table(headers);
+  std::vector<std::string> apps;
+  for (const auto& c : cells) {
+    bool seen = false;
+    for (const auto& a : apps) {
+      if (a == c.app) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      apps.push_back(c.app);
+    }
+  }
+  for (const auto& app : apps) {
+    std::vector<std::string> row = {app};
+    for (Policy p : policies) {
+      double norm = 0.0;
+      for (const auto& c : cells) {
+        if (c.app == app && c.policy == p) {
+          norm = Normalized(cells, c);
+          break;
+        }
+      }
+      row.push_back(TextTable::Num(norm, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace vscale
+
+#endif  // VSCALE_BENCH_BENCH_COMMON_H_

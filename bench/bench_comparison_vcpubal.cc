@@ -1,0 +1,95 @@
+// Comparison: vScale vs VCPU-Bal (APSys'13) vs vanilla Xen/Linux.
+//
+// VCPU-Bal is the prior system that proposed dynamic vCPU counts (paper section 2.3);
+// the paper criticizes three aspects, each visible here:
+//  * centralized dom0/libxl monitoring (milliseconds per pass, scaling with VM count);
+//  * weight-only targets (not work-conserving: idle neighbours' slack is unused);
+//  * Linux CPU hotplug reconfiguration (stop_machine stalls every online vCPU).
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/metrics/run_metrics.h"
+#include "src/vscale/vcpubal.h"
+#include "src/workloads/omp_app.h"
+#include "src/workloads/testbed.h"
+
+using namespace vscale;
+
+namespace {
+
+struct Row {
+  double exec_s = 0;
+  double wait_s = 0;
+  double stall_ms = 0;
+  double monitor_ms = 0;
+  int64_t reconfigs = 0;
+};
+
+Row RunOne(const char* mode, const char* app_name, uint64_t seed) {
+  TestbedConfig tb;
+  tb.policy = std::string(mode) == "vscale" ? Policy::kVscale : Policy::kBaseline;
+  tb.primary_vcpus = 4;
+  tb.seed = seed;
+  Testbed bed(tb);
+
+  std::unique_ptr<VcpuBalController> vcpubal;
+  if (std::string(mode) == "vcpubal") {
+    vcpubal = std::make_unique<VcpuBalController>(bed.machine(), VcpuBalConfig{});
+    vcpubal->Manage(bed.primary());
+    vcpubal->Start();
+  }
+
+  OmpAppConfig ac = NpbProfile(app_name, 4, kSpinCountActive);
+  OmpApp app(bed.primary(), ac, seed * 13 + 7);
+  bed.sim().RunUntil(Milliseconds(200));
+  const GuestCounters before = SnapshotCounters(bed.primary());
+  app.Start();
+  bed.RunUntil([&] { return app.done(); }, Seconds(900));
+  const GuestCounters delta = SnapshotCounters(bed.primary()) - before;
+
+  Row row;
+  row.exec_s = ToSeconds(app.duration());
+  row.wait_s = ToSeconds(delta.domain_wait);
+  if (vcpubal) {
+    row.stall_ms = ToMilliseconds(vcpubal->hotplug_stall());
+    row.monitor_ms = ToMilliseconds(vcpubal->monitoring_cost());
+    row.reconfigs = vcpubal->reconfigurations();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("vScale vs VCPU-Bal vs vanilla (NPB, 4-vCPU VM, spincount=30B)\n\n");
+  TextTable table({"app", "system", "exec time (s)", "VM wait (s)",
+                   "hotplug stall (ms)", "dom0 monitor (ms)", "reconfigs"});
+  for (const char* app : {"lu", "cg", "ep"}) {
+    for (const char* mode : {"baseline", "vcpubal", "vscale"}) {
+      Row total;
+      constexpr int kSeeds = 2;
+      const uint64_t seeds[kSeeds] = {42, 137};
+      int64_t reconfigs = 0;
+      for (uint64_t seed : seeds) {
+        const Row r = RunOne(mode, app, seed);
+        total.exec_s += r.exec_s / kSeeds;
+        total.wait_s += r.wait_s / kSeeds;
+        total.stall_ms += r.stall_ms / kSeeds;
+        total.monitor_ms += r.monitor_ms / kSeeds;
+        reconfigs += r.reconfigs / kSeeds;
+      }
+      table.AddRow({app, mode, TextTable::Num(total.exec_s, 3),
+                    TextTable::Num(total.wait_s, 3),
+                    TextTable::Num(total.stall_ms, 1),
+                    TextTable::Num(total.monitor_ms, 1),
+                    TextTable::Int(reconfigs)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\npaper section 2.3: VCPU-Bal's weight-only targets are not work-conserving,\n"
+      "its dom0 monitoring is a bottleneck, and hotplug makes frequent scaling\n"
+      "infeasible — vScale replaces all three mechanisms.\n");
+  return 0;
+}

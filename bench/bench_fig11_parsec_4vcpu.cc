@@ -1,0 +1,22 @@
+// Figure 11: normalized execution time of the PARSEC suite in a 4-vCPU VM under
+// {Xen/Linux, vScale} x {with, without pv-spinlock}.
+//
+// Paper shapes: dedup improves the most (>20%, mm-semaphore pressure); bodytrack,
+// streamcluster and vips improve >10%; ferret/freqmine/raytrace/swaptions are
+// marginal; pv-spinlock helps some (kernel-level LHP) but trails vScale (11% gap on
+// dedup).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace vscale;
+
+int main() {
+  const CampaignConfig cfg = MakeCampaign(/*vcpus=*/4);
+  std::printf("Figure 11: PARSEC normalized execution time, 4-vCPU VM\n");
+  std::printf("(seeds per cell: %zu)\n\n", cfg.seeds.size());
+  const auto cells = RunParsecSuite(cfg);
+  PrintNormalizedFigure("normalized execution time", cells, cfg.policies);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 12: the PARSEC campaign repeated with an 8-vCPU VM.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace vscale;
+
+int main() {
+  const CampaignConfig cfg = MakeCampaign(/*vcpus=*/8);
+  std::printf("Figure 12: PARSEC normalized execution time, 8-vCPU VM\n");
+  std::printf("(seeds per cell: %zu)\n\n", cfg.seeds.size());
+  const auto cells = RunParsecSuite(cfg);
+  PrintNormalizedFigure("normalized execution time", cells, cfg.policies);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 14: Apache web server under httperf load in a 4-vCPU VM: average reply
+// rate, connection time and response time vs the request rate (1-10 K req/s, 16 KB
+// file over a 1 GbE link which saturates around 7 K replies/s).
+//
+// Paper shapes: vanilla Xen/Linux peaks around 4-6 K/s then degrades (reply rate
+// drops, connection/response times blow up); pv-spinlock avoids the break but peaks
+// at ~5.3 K/s; vScale reaches 6.6 K/s and with pv-spinlock 6.9 K/s — near link
+// saturation — with the lowest connection and response times throughout.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/web_server.h"
+
+using namespace vscale;
+
+namespace {
+
+struct Point {
+  double reply_rate_k;
+  double conn_ms;
+  double resp_ms;
+};
+
+Point RunPoint(Policy policy, double rate, uint64_t seed) {
+  TestbedConfig tb;
+  tb.policy = policy;
+  tb.primary_vcpus = 4;
+  tb.seed = seed;
+  Testbed bed(tb);
+
+  WebServerConfig ws;
+  WebServer server(bed.primary(), bed.sim(), ws, seed ^ 0x3EB);
+  server.Start();
+  HttperfClient client(server, bed.sim(), rate, seed ^ 0xC11);
+
+  bed.sim().RunUntil(Milliseconds(300));
+  client.Run(bed.sim().Now(), Seconds(60));
+  bed.sim().RunUntil(Milliseconds(300) + Seconds(61));
+
+  const auto& s = server.stats();
+  Point p;
+  p.reply_rate_k = static_cast<double>(s.replies) / 60.0 / 1000.0;
+  p.conn_ms = s.connection_time_us.mean() / 1000.0;
+  p.resp_ms = s.response_time_us.mean() / 1000.0;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 14: Apache + httperf, 4-vCPU VM, 16 KB file over 1 GbE\n");
+  std::printf("(60 s per point)\n\n");
+
+  const Policy kPolicies[] = {Policy::kBaseline, Policy::kBaselinePvlock,
+                              Policy::kVscale, Policy::kVscalePvlock};
+  TextTable table({"req rate (K/s)", "config", "reply rate (K/s)",
+                   "avg conn time (ms)", "avg resp time (ms)"});
+  for (double rate_k = 1.0; rate_k <= 10.0; rate_k += 1.0) {
+    for (Policy policy : kPolicies) {
+      const Point p = RunPoint(policy, rate_k * 1000.0, 42);
+      table.AddRow({TextTable::Num(rate_k, 0), ToString(policy),
+                    TextTable::Num(p.reply_rate_k, 2), TextTable::Num(p.conn_ms, 2),
+                    TextTable::Num(p.resp_ms, 2)});
+    }
+  }
+  table.Print();
+  std::printf("\npaper: baseline peaks ~4-6 K/s then degrades; vScale reaches 6.6 K/s\n"
+              "(3.2x the broken baseline), vScale+pvlock 6.9 K/s ~= link saturation\n");
+  return 0;
+}

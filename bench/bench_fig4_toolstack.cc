@@ -1,0 +1,44 @@
+// Figure 4: min-avg-max overhead of reading all VMs' CPU consumptions through dom0's
+// libxl toolstack (the centralized path VCPU-Bal uses), as a function of the number of
+// VMs and dom0's background I/O load. 10,000 executions per point.
+//
+// Paper: ~480 us per VM when dom0 is idle (linear in VM count); with network I/O in
+// dom0, 50 VMs take >6 ms on average with maxima approaching 30 ms.
+
+#include <cstdio>
+
+#include "src/base/rng.h"
+#include "src/base/table.h"
+#include "src/hypervisor/toolstack.h"
+
+using namespace vscale;
+
+int main() {
+  std::printf("Figure 4: libxl monitoring cost in dom0 (10,000 executions/point)\n\n");
+
+  const CostModel& cost = DefaultCostModel();
+  constexpr int kIterations = 10'000;
+  const int vm_counts[] = {1, 10, 20, 30, 40, 50};
+
+  TextTable table({"VMs", "dom0 load", "min (ms)", "avg (ms)", "max (ms)"});
+  const struct {
+    Dom0Load load;
+    const char* name;
+  } kLoads[] = {{Dom0Load::kIdle, "idle"},
+                {Dom0Load::kDiskIo, "disk I/O"},
+                {Dom0Load::kNetIo, "network I/O"}};
+
+  for (const auto& load : kLoads) {
+    for (int vms : vm_counts) {
+      Dom0Toolstack toolstack(cost, Rng(1234 + vms));
+      RunningStat stat = toolstack.MeasureMonitorCost(vms, load.load, kIterations);
+      table.AddRow({TextTable::Int(vms), load.name, TextTable::Num(stat.min(), 3),
+                    TextTable::Num(stat.mean(), 3), TextTable::Num(stat.max(), 3)});
+    }
+  }
+  table.Print();
+  std::printf("\npaper: ~0.48 ms/VM when dom0 idle, scaling linearly; with one VM's\n"
+              "network I/O through dom0, 50 VMs cost >6 ms avg (max approaching 30 ms).\n"
+              "Contrast Table 1: the per-VM vScale channel costs 0.91 us, flat.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 7: the Figure 6 campaign repeated with an 8-vCPU VM (same pool, background
+// desktops reduced so consolidation stays at ~2 vCPUs per pCPU).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace vscale;
+
+int main() {
+  const CampaignConfig cfg = MakeCampaign(/*vcpus=*/8);
+  std::printf("Figure 7: NPB-OMP normalized execution time, 8-vCPU VM\n");
+  std::printf("(seeds per cell: %zu)\n\n", cfg.seeds.size());
+
+  const struct {
+    int64_t spin;
+    const char* label;
+  } kPolicies[] = {
+      {kSpinCountActive, "(a) GOMP_SPINCOUNT = 30 billion (ACTIVE)"},
+      {kSpinCountDefault, "(b) GOMP_SPINCOUNT = 300K (default)"},
+      {kSpinCountPassive, "(c) GOMP_SPINCOUNT = 0 (PASSIVE)"},
+  };
+  for (const auto& wait_policy : kPolicies) {
+    const auto cells = RunNpbSuite(cfg, wait_policy.spin);
+    PrintNormalizedFigure(wait_policy.label, cells, cfg.policies);
+    std::printf("\n");
+  }
+  return 0;
+}

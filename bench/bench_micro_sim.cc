@@ -1,0 +1,78 @@
+// Engine microbenchmarks (google-benchmark): event-queue throughput, scheduler
+// decision costs, guest op dispatch, and end-to-end simulated-seconds-per-wall-second
+// for the consolidated testbed.
+
+#include <benchmark/benchmark.h>
+
+#include "src/guest/kernel.h"
+#include "src/hypervisor/machine.h"
+#include "src/sim/event_queue.h"
+#include "src/workloads/omp_app.h"
+#include "src/workloads/testbed.h"
+
+using namespace vscale;
+
+static void BM_EventScheduleFire(benchmark::State& state) {
+  Simulator sim;
+  int64_t counter = 0;
+  for (auto _ : state) {
+    sim.ScheduleAfter(1, [&] { ++counter; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_EventScheduleFire);
+
+static void BM_EventCancel(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    const Simulator::EventId id = sim.ScheduleAfter(1'000'000, [] {});
+    sim.Cancel(id);
+  }
+}
+BENCHMARK(BM_EventCancel);
+
+static void BM_ChannelRead(benchmark::State& state) {
+  MachineConfig mc;
+  mc.n_pcpus = 4;
+  Machine machine(mc);
+  machine.CreateDomain("vm", 256, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.ReadExtendability(0));
+  }
+}
+BENCHMARK(BM_ChannelRead);
+
+static void BM_FreezeUnfreeze(benchmark::State& state) {
+  MachineConfig mc;
+  mc.n_pcpus = 4;
+  Machine machine(mc);
+  Domain& dom = machine.CreateDomain("vm", 1024, 4);
+  GuestKernel kernel(machine, machine.sim(), dom, GuestConfig{});
+  for (auto _ : state) {
+    kernel.FreezeCpu(3);
+    kernel.UnfreezeCpu(3);
+  }
+}
+BENCHMARK(BM_FreezeUnfreeze);
+
+// Simulated seconds per wall second for the full consolidated testbed.
+static void BM_TestbedSimulatedSecond(benchmark::State& state) {
+  TestbedConfig tb;
+  tb.policy = Policy::kVscale;
+  tb.primary_vcpus = 4;
+  Testbed bed(tb);
+  OmpAppConfig ac = NpbProfile("cg", 4, kSpinCountDefault);
+  ac.intervals = 1'000'000;
+  OmpApp app(bed.primary(), ac, 9);
+  bed.sim().RunUntil(Milliseconds(200));
+  app.Start();
+  for (auto _ : state) {
+    const TimeNs target = bed.sim().Now() + Seconds(1);
+    bed.sim().RunUntil(target);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TestbedSimulatedSecond)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

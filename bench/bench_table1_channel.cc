@@ -1,0 +1,49 @@
+// Table 1: the overhead of reading from the vScale channel.
+//
+// Paper: one read = sys_getvscaleinfo (0.69 us) + SCHEDOP_getvscaleinfo (+0.22 us)
+// = 0.91 us, measured over 1 million executions, independent of the number of
+// co-located VMs. This bench reproduces the measurement inside the simulated stack
+// (modeled costs + real data-structure work) and verifies VM-count independence.
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/base/time.h"
+#include "src/hypervisor/machine.h"
+#include "src/hypervisor/vscale_channel.h"
+#include "src/vscale/ticker.h"
+
+using namespace vscale;
+
+int main() {
+  std::printf("Table 1: overhead of reading from the vScale channel\n");
+  std::printf("(1,000,000 reads per configuration)\n\n");
+
+  TextTable table({"co-located VMs", "syscall (us)", "+hypercall (us)",
+                   "total per read (us)"});
+  for (int vms : {1, 10, 50}) {
+    MachineConfig mc;
+    mc.n_pcpus = 12;
+    Machine machine(mc);
+    for (int i = 0; i < vms; ++i) {
+      machine.CreateDomain("vm" + std::to_string(i), 256, 2);
+    }
+    ExtendabilityTicker ticker(machine);
+    ticker.Recompute();
+
+    VscaleChannel channel(machine, machine.cost(), /*dom=*/0);
+    constexpr int kReads = 1'000'000;
+    for (int i = 0; i < kReads; ++i) {
+      (void)channel.Read();
+    }
+    const double total_us = ToMicroseconds(channel.total_cost()) / kReads;
+    table.AddRow({TextTable::Int(vms),
+                  TextTable::Num(ToMicroseconds(channel.syscall_cost()), 2),
+                  TextTable::Num(ToMicroseconds(channel.hypercall_cost()), 2),
+                  TextTable::Num(total_us, 2)});
+  }
+  table.Print();
+  std::printf("\npaper: 0.69 us syscall + 0.22 us hypercall = 0.91 us total,\n"
+              "independent of VM count (the channel bypasses dom0 entirely)\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Table 2: timer interrupts and reschedule IPIs received by each vCPU before and
+// after vCPU3 is frozen, while a kernel-build workload runs (guest HZ = 1000).
+//
+// Paper: active vCPUs receive 1000 timer ints/s and ~21-29 IPIs/s; the frozen vCPU3
+// receives 0 of both — it stays quiescent although its interrupts were never disabled
+// (dynamic ticks stop on idle; thread migration moved every IPI target away).
+
+#include <cstdio>
+
+#include "src/base/table.h"
+#include "src/guest/kernel.h"
+#include "src/hypervisor/machine.h"
+#include "src/workloads/background.h"
+
+using namespace vscale;
+
+namespace {
+
+struct Rates {
+  double timer[4];
+  double ipi[4];
+};
+
+Rates MeasureWindow(Machine& machine, GuestKernel& kernel, TimeNs window) {
+  int64_t t0[4];
+  int64_t i0[4];
+  for (int c = 0; c < 4; ++c) {
+    t0[c] = kernel.cpu(c).stats.timer_ints;
+    i0[c] = kernel.cpu(c).stats.resched_ipis;
+  }
+  machine.sim().RunUntil(machine.sim().Now() + window);
+  Rates r;
+  for (int c = 0; c < 4; ++c) {
+    r.timer[c] = static_cast<double>(kernel.cpu(c).stats.timer_ints - t0[c]) /
+                 ToSeconds(window);
+    r.ipi[c] = static_cast<double>(kernel.cpu(c).stats.resched_ipis - i0[c]) /
+               ToSeconds(window);
+  }
+  return r;
+}
+
+void PrintRates(const char* label, const Rates& r) {
+  TextTable table({label, "vCPU0", "vCPU1", "vCPU2", "vCPU3"});
+  std::vector<std::string> timer_row = {"vTimer INTs / sec"};
+  std::vector<std::string> ipi_row = {"vIPIs / sec"};
+  for (int c = 0; c < 4; ++c) {
+    timer_row.push_back(TextTable::Num(r.timer[c], 0));
+    ipi_row.push_back(TextTable::Num(r.ipi[c], 1));
+  }
+  table.AddRow(timer_row);
+  table.AddRow(ipi_row);
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 2: per-vCPU interrupts before/after freezing vCPU3\n");
+  std::printf("(kernel-build workload, guest HZ=1000, 4-vCPU VM on 4 pCPUs)\n\n");
+
+  MachineConfig mc;
+  mc.n_pcpus = 4;
+  mc.seed = 91;
+  Machine machine(mc);
+  Domain& dom = machine.CreateDomain("builder", 1024, 4);
+  GuestKernel kernel(machine, machine.sim(), dom, GuestConfig{});
+
+  KernelBuildConfig kb;
+  kb.jobs = 8;
+  KernelBuild build(kernel, kb, 1331);
+  build.Start();
+
+  machine.sim().RunUntil(Seconds(1));  // warm up
+  const Rates before = MeasureWindow(machine, kernel, Seconds(5));
+  PrintRates("all vCPUs active", before);
+
+  kernel.FreezeCpu(3);
+  machine.sim().RunUntil(machine.sim().Now() + Milliseconds(100));
+  const Rates after = MeasureWindow(machine, kernel, Seconds(5));
+  PrintRates("vCPU3 frozen", after);
+
+  std::printf("paper: 1000 timer ints/s on active vCPUs, 0 on the frozen one;\n"
+              "~21 IPIs/s/vCPU before, ~28 on the remaining three after, 0 on vCPU3.\n"
+              "The frozen vCPU is quiescent although its interrupts were never\n"
+              "disabled — the same effect as CPU hotplug at 1/100,000 of the cost.\n");
+  return 0;
+}

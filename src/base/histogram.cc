@@ -1,0 +1,105 @@
+#include "src/base/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace vscale {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kMaxBuckets, 0) {}
+
+int LatencyHistogram::BucketIndex(TimeNs value) {
+  if (value <= 0) {
+    return 0;
+  }
+  const uint64_t v = static_cast<uint64_t>(value);
+  const int octave = 63 - std::countl_zero(v);
+  // Subdivide each octave into kBucketsPerOctave slots using the bits below the MSB.
+  int sub = 0;
+  if (octave > 0) {
+    const uint64_t below = v - (1ULL << octave);
+    sub = static_cast<int>((below * kBucketsPerOctave) >> octave);
+  }
+  const int index = octave * kBucketsPerOctave + sub;
+  return std::min(index, kMaxBuckets - 1);
+}
+
+TimeNs LatencyHistogram::BucketUpperBound(int index) {
+  const int octave = index / kBucketsPerOctave;
+  const int sub = index % kBucketsPerOctave;
+  const uint64_t base = 1ULL << octave;
+  const uint64_t width = base / kBucketsPerOctave;
+  if (width == 0) {
+    return static_cast<TimeNs>(base + static_cast<uint64_t>(sub) + 1);
+  }
+  return static_cast<TimeNs>(base + width * static_cast<uint64_t>(sub + 1));
+}
+
+void LatencyHistogram::Add(TimeNs value) {
+  ++buckets_[static_cast<size_t>(BucketIndex(value))];
+  ++count_;
+  sum_ += static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::MeanNs() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+TimeNs LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (int i = 0; i < kMaxBuckets; ++i) {
+    cumulative += static_cast<double>(buckets_[static_cast<size_t>(i)]);
+    if (cumulative >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<LatencyHistogram::CdfPoint> LatencyHistogram::Cdf() const {
+  std::vector<CdfPoint> points;
+  if (count_ == 0) {
+    return points;
+  }
+  int64_t cumulative = 0;
+  for (int i = 0; i < kMaxBuckets; ++i) {
+    const int64_t n = buckets_[static_cast<size_t>(i)];
+    if (n == 0) {
+      continue;
+    }
+    cumulative += n;
+    points.push_back({std::min(BucketUpperBound(i), max_),
+                      static_cast<double>(cumulative) / static_cast<double>(count_)});
+  }
+  return points;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "n=%lld min=%s mean=%s p50=%s p99=%s max=%s",
+                static_cast<long long>(count_), FormatTime(min()).c_str(),
+                FormatTime(static_cast<TimeNs>(MeanNs())).c_str(),
+                FormatTime(Quantile(0.5)).c_str(), FormatTime(Quantile(0.99)).c_str(),
+                FormatTime(max()).c_str());
+  return buf;
+}
+
+}  // namespace vscale

@@ -1,0 +1,57 @@
+// Log-bucketed latency histogram and CDF extraction.
+//
+// Buckets grow geometrically, giving ~3% relative resolution across nanoseconds to
+// seconds with a fixed, small footprint — suitable for per-event hot paths.
+
+#ifndef VSCALE_SRC_BASE_HISTOGRAM_H_
+#define VSCALE_SRC_BASE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace vscale {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Add(TimeNs value);
+  void Merge(const LatencyHistogram& other);
+
+  int64_t count() const { return count_; }
+  TimeNs min() const { return count_ > 0 ? min_ : 0; }
+  TimeNs max() const { return count_ > 0 ? max_ : 0; }
+  double MeanNs() const;
+  // Quantile estimated from bucket midpoints; q in [0, 1].
+  TimeNs Quantile(double q) const;
+
+  // (value, cumulative_fraction) pairs suitable for plotting a CDF, one point per
+  // non-empty bucket upper bound.
+  struct CdfPoint {
+    TimeNs value;
+    double fraction;
+  };
+  std::vector<CdfPoint> Cdf() const;
+
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBucketsPerOctave = 16;
+  static constexpr int kMaxBuckets = 16 * 64;  // covers the full int64 range
+
+  static int BucketIndex(TimeNs value);
+  static TimeNs BucketUpperBound(int index);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  TimeNs min_ = kTimeNever;
+  TimeNs max_ = 0;
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_BASE_HISTOGRAM_H_

@@ -1,0 +1,32 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+
+namespace vscale {
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Logf(LogLevel level, TimeNs now, const char* fmt, ...) {
+  if (!IsEnabled(level)) {
+    return;
+  }
+  static const char* const kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  char prefix[64];
+  if (now == kTimeNever) {
+    std::snprintf(prefix, sizeof(prefix), "[%s] ", kNames[static_cast<int>(level)]);
+  } else {
+    std::snprintf(prefix, sizeof(prefix), "[%s %12.6fs] ", kNames[static_cast<int>(level)],
+                  ToSeconds(now));
+  }
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "%s%s\n", prefix, body);
+}
+
+}  // namespace vscale

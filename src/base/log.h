@@ -1,0 +1,49 @@
+// Minimal leveled logging for the simulation. Disabled below the configured level with
+// zero formatting cost; hot paths guard with IsEnabled().
+
+#ifndef VSCALE_SRC_BASE_LOG_H_
+#define VSCALE_SRC_BASE_LOG_H_
+
+#include <cstdarg>
+#include <string>
+
+#include "src/base/time.h"
+
+namespace vscale {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+class Logger {
+ public:
+  static Logger& Get();
+
+  void SetLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool IsEnabled(LogLevel level) const { return level >= level_; }
+
+  // Logs with the simulated timestamp prefix (pass kTimeNever to omit it).
+  void Logf(LogLevel level, TimeNs now, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+#define VSCALE_LOG(level, now, ...)                            \
+  do {                                                         \
+    if (::vscale::Logger::Get().IsEnabled(level)) {            \
+      ::vscale::Logger::Get().Logf(level, now, __VA_ARGS__);   \
+    }                                                          \
+  } while (0)
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_BASE_LOG_H_

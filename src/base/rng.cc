@@ -1,0 +1,112 @@
+#include "src/base/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vscale {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Lemire's nearly-divisionless bounded generation with rejection.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::UniformReal(double lo, double hi) { return lo + NextDouble() * (hi - lo); }
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = NextDouble();
+  const double u2 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::LogNormal(double median, double sigma) {
+  return median * std::exp(Normal(0.0, sigma));
+}
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+TimeNs Rng::ExponentialTime(TimeNs mean) {
+  const double v = Exponential(static_cast<double>(mean));
+  return v < 0.0 ? 0 : static_cast<TimeNs>(v);
+}
+
+TimeNs Rng::NormalTime(TimeNs mean, TimeNs stddev) {
+  const double v = Normal(static_cast<double>(mean), static_cast<double>(stddev));
+  return v < 0.0 ? 0 : static_cast<TimeNs>(v);
+}
+
+TimeNs Rng::UniformTime(TimeNs lo, TimeNs hi) {
+  if (hi <= lo) {
+    return lo;
+  }
+  return lo + static_cast<TimeNs>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  // Mix the salt through splitmix so sequential salts give unrelated streams.
+  uint64_t sm = s_[0] ^ (salt * 0x9E3779B97F4A7C15ULL);
+  return Rng(SplitMix64(sm));
+}
+
+}  // namespace vscale

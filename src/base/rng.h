@@ -1,0 +1,62 @@
+// Deterministic random number generation for simulation runs.
+//
+// xoshiro256** seeded via splitmix64. Each simulated component takes its own Rng
+// (forked from a root seed) so adding a component never perturbs the random streams of
+// the others — a requirement for meaningful A/B comparisons between scheduler policies.
+
+#ifndef VSCALE_SRC_BASE_RNG_H_
+#define VSCALE_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "src/base/time.h"
+
+namespace vscale {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound) without modulo bias. bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Normal via Box-Muller (no state caching, 2 uniforms per call).
+  double Normal(double mean, double stddev);
+
+  // Log-normal parameterized by the target median and a shape sigma (of the underlying
+  // normal). Used for heavy-tailed latency models such as Linux hotplug cost.
+  double LogNormal(double median, double sigma);
+
+  // Bernoulli trial.
+  bool Chance(double p);
+
+  // Duration helpers (clamped at >= 0).
+  TimeNs ExponentialTime(TimeNs mean);
+  TimeNs NormalTime(TimeNs mean, TimeNs stddev);
+  TimeNs UniformTime(TimeNs lo, TimeNs hi);
+
+  // Derives an independent child generator; deterministic in (this seed, salt).
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_BASE_RNG_H_

@@ -1,0 +1,38 @@
+// Fixed-width table rendering for benchmark harness output. Each bench binary prints the
+// rows/series of the paper table or figure it regenerates; this keeps the formatting in
+// one place.
+
+#ifndef VSCALE_SRC_BASE_TABLE_H_
+#define VSCALE_SRC_BASE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vscale {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Appends a row; entries are stringified by the typed helpers below.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with aligned columns, a header separator, and a trailing newline.
+  std::string Render() const;
+  // Renders as comma-separated values (for downstream plotting).
+  std::string RenderCsv() const;
+
+  void Print() const;
+
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_BASE_TABLE_H_

@@ -1,0 +1,23 @@
+#include "src/base/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace vscale {
+
+std::string FormatTime(TimeNs t) {
+  char buf[64];
+  const double abs_t = std::fabs(static_cast<double>(t));
+  if (abs_t >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(t) / 1e9);
+  } else if (abs_t >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(t) / 1e6);
+  } else if (abs_t >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(t) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(t));
+  }
+  return buf;
+}
+
+}  // namespace vscale

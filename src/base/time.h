@@ -1,0 +1,41 @@
+// Virtual-time primitives for the vScale simulation.
+//
+// All simulated time is carried as integral nanoseconds (TimeNs). Integer time keeps
+// every run bit-deterministic and makes cross-layer accounting (credits, slices, spin
+// budgets) exact. Helper constructors are constexpr so cost-model constants can live in
+// headers.
+
+#ifndef VSCALE_SRC_BASE_TIME_H_
+#define VSCALE_SRC_BASE_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace vscale {
+
+// Nanoseconds of simulated (virtual) time. Signed so durations can be subtracted freely.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kTimeNever = std::numeric_limits<TimeNs>::max();
+
+constexpr TimeNs Nanoseconds(int64_t n) { return n; }
+constexpr TimeNs Microseconds(int64_t us) { return us * 1'000; }
+constexpr TimeNs Milliseconds(int64_t ms) { return ms * 1'000'000; }
+constexpr TimeNs Seconds(int64_t s) { return s * 1'000'000'000; }
+
+// Fractional helpers used by workload generators; rounds to nearest nanosecond.
+constexpr TimeNs MicrosecondsF(double us) { return static_cast<TimeNs>(us * 1e3 + 0.5); }
+constexpr TimeNs MillisecondsF(double ms) { return static_cast<TimeNs>(ms * 1e6 + 0.5); }
+constexpr TimeNs SecondsF(double s) { return static_cast<TimeNs>(s * 1e9 + 0.5); }
+
+constexpr double ToMicroseconds(TimeNs t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToMilliseconds(TimeNs t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) / 1e9; }
+
+// Renders a time as a short human-readable string ("12.5ms", "3.2us", "1.0s").
+std::string FormatTime(TimeNs t);
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_BASE_TIME_H_

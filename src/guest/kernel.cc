@@ -1,0 +1,483 @@
+// Core of the guest kernel model: construction, the GuestOs co-simulation contract,
+// timer ticks, interrupt delivery, idling, the vScale freeze mechanism and the Linux
+// hotplug baseline. Scheduling lives in kernel_sched.cc, sync in kernel_sync.cc.
+
+#include "src/guest/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/base/log.h"
+
+namespace vscale {
+
+GuestKernel::GuestKernel(HvServices& hv, Simulator& sim, Domain& domain,
+                         GuestConfig config)
+    : hv_(hv),
+      sim_(sim),
+      domain_(domain),
+      config_(config),
+      cost_(DefaultCostModel()) {
+  cpus_.resize(static_cast<size_t>(domain.n_vcpus()));
+  for (int i = 0; i < domain.n_vcpus(); ++i) {
+    cpus_[static_cast<size_t>(i)].id = i;
+  }
+  domain_.set_guest(this);
+  UpdateGroupPower();
+  // Per-CPU kthreads exist from boot (ksoftirqd); they stay blocked and serve as the
+  // non-migratable population of Figure 3. Their work is modeled as pending_kernel_ns.
+  for (int i = 0; i < domain.n_vcpus(); ++i) {
+    GuestThread& t = Spawn("ksoftirqd/" + std::to_string(i), nullptr,
+                           ThreadType::kKthreadPerCpu, i);
+    (void)t;
+  }
+}
+
+GuestKernel::~GuestKernel() = default;
+
+void GuestKernel::TotalThreadTimes(TimeNs* cpu_time, TimeNs* spin_time,
+                                   TimeNs* wait_time) const {
+  TimeNs cpu = 0;
+  TimeNs spin = 0;
+  TimeNs wait = 0;
+  const TimeNs now = hv_.Now();
+  for (const auto& t : threads_) {
+    cpu += t->cpu_time;
+    spin += t->spin_time;
+    wait += t->wait_time;
+    if (t->state == ThreadState::kRunnable) {
+      wait += now - t->enqueued_at;  // include the in-progress queueing stint
+    }
+  }
+  *cpu_time = cpu;
+  *spin_time = spin;
+  if (wait_time != nullptr) {
+    *wait_time = wait;
+  }
+}
+
+int GuestKernel::online_cpus() const {
+  int n = 0;
+  for (const auto& c : cpus_) {
+    if (!c.frozen) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void GuestKernel::UpdateGroupPower() {
+  total_group_power_ = 1024 * std::max(1, online_cpus());
+}
+
+uint64_t GuestKernel::freeze_mask() const {
+  uint64_t mask = 0;
+  for (const auto& c : cpus_) {
+    if (c.frozen) {
+      mask |= 1ULL << c.id;
+    }
+  }
+  return mask;
+}
+
+// ---------------------------------------------------------------------------
+// GuestOs: the co-simulation contract
+// ---------------------------------------------------------------------------
+
+void GuestKernel::OnScheduledIn(VcpuId vcpu, TimeNs now) {
+  GuestCpu& c = cpus_[static_cast<size_t>(vcpu)];
+  c.hv_running = true;
+  const bool has_work =
+      c.current != nullptr || !c.runq.empty() || c.pending_kernel_ns > 0;
+  if (has_work) {
+    // Coalesced virtual timer tick: at most one pending tick fires on re-entry.
+    if (c.next_tick != kTimeNever && c.next_tick <= now) {
+      HandleTick(c);
+    }
+    ArmTickIfNeeded(c);
+  }
+}
+
+void GuestKernel::OnDescheduled(VcpuId vcpu, TimeNs now) {
+  GuestCpu& c = cpus_[static_cast<size_t>(vcpu)];
+  (void)now;
+  c.hv_running = false;
+}
+
+void GuestKernel::Advance(VcpuId vcpu, TimeNs elapsed) {
+  GuestCpu& c = cpus_[static_cast<size_t>(vcpu)];
+  TimeNs rem = elapsed;
+  const TimeNs kernel_take = std::min(c.pending_kernel_ns, rem);
+  c.pending_kernel_ns -= kernel_take;
+  rem -= kernel_take;
+  if (rem <= 0) {
+    return;
+  }
+  GuestThread* t = c.current;
+  if (t == nullptr) {
+    return;  // idle burn between events; nothing to attribute
+  }
+  t->cpu_time += rem;
+  t->vruntime += rem;
+  switch (t->run_mode) {
+    case RunMode::kCompute:
+      t->remaining_ns = std::max<TimeNs>(0, t->remaining_ns - rem);
+      break;
+    case RunMode::kUserSpin:
+    case RunMode::kKernelSpin:
+      t->spin_time += rem;
+      if (t->run_mode == RunMode::kKernelSpin && t->waiting_lock >= 0) {
+        kernel_locks_[static_cast<size_t>(t->waiting_lock)].total_spin_wait += rem;
+      }
+      if (t->spin_remaining_ns != kTimeNever) {
+        t->spin_remaining_ns = std::max<TimeNs>(0, t->spin_remaining_ns - rem);
+      }
+      break;
+  }
+}
+
+TimeNs GuestKernel::NextEventDelta(VcpuId vcpu) {
+  GuestCpu& c = cpus_[static_cast<size_t>(vcpu)];
+  TimeNs delta = kTimeNever;
+  if (c.evacuate_pending) {
+    delta = 0;
+  } else if (c.pending_kernel_ns > 0) {
+    delta = c.pending_kernel_ns;
+  } else if (c.current != nullptr) {
+    GuestThread& t = *c.current;
+    if (t.op_phase < 0) {
+      delta = 0;  // op pending start
+    } else {
+      switch (t.run_mode) {
+        case RunMode::kCompute:
+          delta = t.remaining_ns;
+          break;
+        case RunMode::kUserSpin:
+        case RunMode::kKernelSpin:
+          delta = t.spin_remaining_ns;
+          break;
+      }
+    }
+  } else {
+    delta = 0;  // dispatch or go idle
+  }
+  if (c.next_tick != kTimeNever) {
+    const TimeNs tick_in = std::max<TimeNs>(0, c.next_tick - hv_.Now());
+    delta = std::min(delta, tick_in);
+  }
+  return delta;
+}
+
+void GuestKernel::OnDeadline(VcpuId vcpu) {
+  GuestCpu& c = cpus_[static_cast<size_t>(vcpu)];
+  const TimeNs now = hv_.Now();
+  if (c.next_tick != kTimeNever && now >= c.next_tick) {
+    HandleTick(c);
+    return;
+  }
+  if (c.evacuate_pending) {
+    EvacuateCpu(c);
+    return;
+  }
+  if (c.pending_kernel_ns > 0) {
+    return;  // boundary will arrive when the backlog drains
+  }
+  if (c.current != nullptr) {
+    OnThreadBoundary(c, *c.current);
+    return;
+  }
+  if (!c.runq.empty()) {
+    DispatchNext(c);
+    return;
+  }
+  MaybeGoIdle(c);
+}
+
+void GuestKernel::DeliverEvent(VcpuId vcpu, EvtchnPort port) {
+  GuestCpu& c = cpus_[static_cast<size_t>(vcpu)];
+  if (port == kPortResched || port == kPortFreeze) {
+    ++c.stats.resched_ipis;
+    c.pending_kernel_ns += cost_.ipi_deliver_cost;
+    HandleReschedIpi(c);
+  } else if (port == kPortPvlockKick) {
+    // The kicked waiter already owns the lock (granted before the kick); just resume.
+    c.pending_kernel_ns += cost_.ipi_deliver_cost;
+  } else if (port == kPortTimer) {
+    ++c.stats.timer_ints;
+    c.pending_kernel_ns += cost_.ipi_deliver_cost;
+    HandleReschedIpi(c);  // a timer wakeup behaves like a scheduler tickle
+  } else if (port >= kPortIoBase &&
+             port - kPortIoBase < static_cast<int>(io_irqs_.size())) {
+    ++c.stats.io_irqs;
+    c.pending_kernel_ns += cost_.irq_handle_cost;
+    IoIrq& irq = io_irqs_[static_cast<size_t>(port - kPortIoBase)];
+    if (irq.handler) {
+      irq.handler(c.id);
+    }
+  }
+  ArmTickIfNeeded(c);
+}
+
+// ---------------------------------------------------------------------------
+// Ticks, interrupts, idling
+// ---------------------------------------------------------------------------
+
+void GuestKernel::ArmTickIfNeeded(GuestCpu& c) {
+  const bool has_work =
+      c.current != nullptr || !c.runq.empty() || c.pending_kernel_ns > 0;
+  if (has_work && c.next_tick == kTimeNever) {
+    c.next_tick = hv_.Now() + cost_.guest_tick_period;
+  }
+}
+
+void GuestKernel::HandleTick(GuestCpu& c) {
+  const TimeNs now = hv_.Now();
+  ++c.stats.timer_ints;
+  c.pending_kernel_ns += cost_.guest_tick_cost;
+  c.next_tick = now + cost_.guest_tick_period;
+  // Guest-scheduler tick: preempt when the slice is up OR when a queued thread has
+  // fallen behind in vruntime (CFS check_preempt_tick). The vruntime check is what
+  // keeps co-located busy-waiters from starving the thread they spin on: a spinner
+  // accrues vruntime fast and yields within a tick or two.
+  if (c.current != nullptr && !c.runq.empty() && !PreemptDisabled(*c.current)) {
+    GuestThread* head = c.runq.front();
+    const bool slice_up = now - c.current_started >= cost_.guest_sched_slice;
+    const bool vr_preempt =
+        !c.current->rt &&
+        (head->rt ||
+         head->vruntime + config_.wakeup_granularity < c.current->vruntime);
+    if (slice_up || vr_preempt) {
+      PutCurrent(c, ThreadState::kRunnable);
+      DispatchNext(c);
+    }
+  }
+  if (++c.ticks_since_balance >= config_.ticks_per_balance) {
+    c.ticks_since_balance = 0;
+    PeriodicBalance(c);
+  }
+}
+
+void GuestKernel::HandleReschedIpi(GuestCpu& c) {
+  if (c.evacuate_pending) {
+    EvacuateCpu(c);
+    return;
+  }
+  if (c.current == nullptr) {
+    if (!c.runq.empty()) {
+      DispatchNext(c);
+    }
+    return;
+  }
+  // A pv-yielded spinlock waiter woken by an unrelated event re-enters its poll loop
+  // with a fresh spin budget instead of burning the pCPU indefinitely.
+  if (c.current->run_mode == RunMode::kKernelSpin &&
+      c.current->spin_remaining_ns == kTimeNever && config_.pv_spinlock &&
+      c.current->waiting_lock >= 0) {
+    c.current->spin_remaining_ns = cost_.pvlock_spin_budget;
+  }
+  // Remote wakeup preemption check (scheduler_ipi -> resched_curr).
+  if (!c.runq.empty() && !PreemptDisabled(*c.current)) {
+    GuestThread* head = c.runq.front();
+    const bool rt_preempt = head->rt && !c.current->rt;
+    if (rt_preempt ||
+        head->vruntime + config_.wakeup_granularity < c.current->vruntime) {
+      PutCurrent(c, ThreadState::kRunnable);
+      DispatchNext(c);
+    }
+  }
+}
+
+void GuestKernel::MaybeGoIdle(GuestCpu& c) {
+  assert(c.current == nullptr && c.runq.empty() && c.pending_kernel_ns == 0);
+  if (!c.frozen) {
+    IdleBalance(c);
+    if (c.current != nullptr || !c.runq.empty()) {
+      if (c.current == nullptr) {
+        DispatchNext(c);
+      }
+      return;
+    }
+  }
+  // Dynamic ticks: a truly idle vCPU receives no timer interrupts (paper Table 2).
+  c.next_tick = kTimeNever;
+  hv_.BlockVcpu(domain_.id(), c.id);
+}
+
+void GuestKernel::TouchVcpu(GuestCpu& c) {
+  hv_.VcpuStateChanged(domain_.id(), c.id);
+}
+
+// ---------------------------------------------------------------------------
+// I/O interrupts
+// ---------------------------------------------------------------------------
+
+EvtchnPort GuestKernel::RegisterIoIrq(std::function<void(int)> handler) {
+  io_irqs_.push_back(IoIrq{0, std::move(handler)});
+  return kPortIoBase + static_cast<EvtchnPort>(io_irqs_.size()) - 1;
+}
+
+void GuestKernel::RaiseIoIrq(EvtchnPort port) {
+  IoIrq& irq = io_irqs_[static_cast<size_t>(port - kPortIoBase)];
+  GuestCpu& bound = cpus_[static_cast<size_t>(irq.cpu)];
+  if (bound.frozen || bound.evacuate_pending) {
+    // vScale migrates I/O interrupts lazily, when they occur (paper section 4.1).
+    int target = 0;
+    for (const auto& cand : cpus_) {
+      if (!cand.frozen && !cand.evacuate_pending) {
+        target = cand.id;
+        break;
+      }
+    }
+    RebindIoIrq(port, target);
+  }
+  hv_.NotifyEvent(domain_.id(), irq.cpu, port, /*urgent=*/false);
+}
+
+void GuestKernel::RebindIoIrq(EvtchnPort port, int new_cpu) {
+  IoIrq& irq = io_irqs_[static_cast<size_t>(port - kPortIoBase)];
+  if (irq.cpu == new_cpu) {
+    return;
+  }
+  irq.cpu = new_cpu;
+  // rebind_irq_to_cpu(): one hypercall to change the event channel's vCPU binding.
+  cpus_[static_cast<size_t>(new_cpu)].pending_kernel_ns +=
+      hv_.rng().UniformTime(cost_.migrate_irq_min, cost_.migrate_irq_max);
+}
+
+int GuestKernel::IoIrqBinding(EvtchnPort port) const {
+  return io_irqs_[static_cast<size_t>(port - kPortIoBase)].cpu;
+}
+
+void GuestKernel::CompleteIo(GuestThread& t) {
+  assert(t.op_active && t.op.kind == Op::Kind::kIoWait);
+  assert(t.state == ThreadState::kBlocked);
+  CompleteOp(t);
+  WakeThread(t);
+}
+
+// ---------------------------------------------------------------------------
+// vScale freeze mechanism (Algorithm 2) — mechanism only; policy in vscale/
+// ---------------------------------------------------------------------------
+
+TimeNs GuestKernel::FreezeCpu(int target) {
+  GuestCpu& c = cpus_[static_cast<size_t>(target)];
+  assert(!c.frozen);
+  assert(target != 0 && "vCPU0 (the master) is never frozen");
+  // Master-side steps, in the order of Algorithm 2 / Table 3:
+  // (1)-(2) set cpu_freeze_mask bit; other vCPUs stop pushing tasks here.
+  c.frozen = true;
+  // (3) update scheduling domain/group power.
+  UpdateGroupPower();
+  // (4) notify the hypervisor: stop earning credits (SCHEDOP_freezecpu).
+  hv_.NotifyFreeze(domain_.id(), target, true);
+  // (5) reschedule IPI tickles the target's scheduler to migrate its load.
+  c.evacuate_pending = true;
+  hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
+  return cost_.freeze_syscall + cost_.freeze_lock + cost_.freeze_mask_update +
+         cost_.freeze_group_power_update + cost_.freeze_hypercall +
+         cost_.freeze_resched_ipi;
+}
+
+TimeNs GuestKernel::UnfreezeCpu(int target) {
+  GuestCpu& c = cpus_[static_cast<size_t>(target)];
+  assert(c.frozen);
+  c.frozen = false;
+  c.evacuate_pending = false;
+  UpdateGroupPower();
+  hv_.NotifyFreeze(domain_.id(), target, false);
+  // wake_up_idle_cpu(): the target will idle-balance and pull threads over.
+  hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
+  return cost_.freeze_syscall + cost_.freeze_lock + cost_.freeze_mask_update +
+         cost_.freeze_group_power_update + cost_.freeze_hypercall +
+         cost_.freeze_resched_ipi;
+}
+
+void GuestKernel::EvacuateCpu(GuestCpu& c) {
+  c.evacuate_pending = false;
+  // Target-side: activate wake-list threads and iterate the runqueue, migrating every
+  // migratable thread; per-CPU kthreads stay (they become quiescent). A current
+  // thread inside a kernel critical section cannot be requeued (preemption disabled);
+  // it drains away at its next op boundary (see OnThreadBoundary).
+  std::vector<GuestThread*> to_move;
+  if (c.current != nullptr && c.current->migratable() &&
+      !PreemptDisabled(*c.current)) {
+    PutCurrent(c, ThreadState::kRunnable);  // re-enters runq of c; collected below
+  }
+  for (GuestThread* t : c.runq) {
+    if (t->migratable()) {
+      to_move.push_back(t);
+    }
+  }
+  for (GuestThread* t : to_move) {
+    DequeueThread(c, *t);
+    const int dest = SelectTaskRq(*t);
+    c.pending_kernel_ns +=
+        hv_.rng().UniformTime(cost_.migrate_thread_min, cost_.migrate_thread_max);
+    GuestCpu& d = cpus_[static_cast<size_t>(dest)];
+    t->cpu = dest;
+    ++t->migrations;
+    EnqueueThread(d, *t);
+    if (d.current == nullptr && !d.hv_running) {
+      SendReschedIpi(c.id, dest);
+    } else if (d.current == nullptr) {
+      TouchVcpu(d);
+    }
+  }
+  // Eagerly migrate event channels still bound here so in-flight devices re-route even
+  // before their next interrupt fires.
+  for (size_t i = 0; i < io_irqs_.size(); ++i) {
+    if (io_irqs_[i].cpu == c.id) {
+      int target = 0;
+      for (const auto& cand : cpus_) {
+        if (!cand.frozen && !cand.evacuate_pending) {
+          target = cand.id;
+          break;
+        }
+      }
+      RebindIoIrq(kPortIoBase + static_cast<EvtchnPort>(i), target);
+    }
+  }
+  // Remaining non-migratable (pinned) uthreads keep the vCPU alive; otherwise it will
+  // drain pending work and idle-block, completing the freeze.
+}
+
+// ---------------------------------------------------------------------------
+// Linux CPU hotplug baseline (stop_machine)
+// ---------------------------------------------------------------------------
+
+TimeNs GuestKernel::HotplugRemove(int target, TimeNs modeled_latency) {
+  // stop_machine(): every online vCPU is halted with interrupts off for the whole
+  // window — modeled as kernel backlog injected on each of them.
+  for (auto& c : cpus_) {
+    if (!c.frozen) {
+      c.pending_kernel_ns += modeled_latency;
+      if (c.hv_running) {
+        TouchVcpu(c);
+      }
+    }
+  }
+  GuestCpu& c = cpus_[static_cast<size_t>(target)];
+  c.frozen = true;
+  UpdateGroupPower();
+  hv_.NotifyFreeze(domain_.id(), target, true);
+  c.evacuate_pending = true;
+  hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
+  return modeled_latency;
+}
+
+TimeNs GuestKernel::HotplugAdd(int target, TimeNs modeled_latency) {
+  GuestCpu& master = cpus_[0];
+  master.pending_kernel_ns += modeled_latency;
+  if (master.hv_running) {
+    TouchVcpu(master);
+  }
+  GuestCpu& c = cpus_[static_cast<size_t>(target)];
+  c.frozen = false;
+  c.evacuate_pending = false;
+  UpdateGroupPower();
+  hv_.NotifyFreeze(domain_.id(), target, false);
+  hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
+  return modeled_latency;
+}
+
+}  // namespace vscale

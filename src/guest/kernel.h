@@ -1,0 +1,254 @@
+// GuestKernel: the Linux-like SMP guest kernel model, one instance per domain.
+//
+// Implements the hypervisor's GuestOs interface (co-simulation contract) and provides:
+//  * per-vCPU run queues with a CFS-lite vruntime scheduler;
+//  * SMP load balancing — wakeup/fork placement, idle pull, periodic balance — all
+//    consulting the vScale cpu_freeze_mask (paper Algorithm 2 & section 4.1);
+//  * 1000 HZ virtual timer ticks with dynamic-tick suppression on idle vCPUs;
+//  * reschedule IPIs for remote wakeups, delivered through Xen event channels;
+//  * futex-style blocking sync (barriers, mutexes, condvars) whose kernel paths
+//    contend on hash-bucket spinlocks (vanilla ticket spin or pv-spinlock);
+//  * user-level spinning (OpenMP GOMP_SPINCOUNT, ad-hoc flags);
+//  * external I/O interrupt binding and redirection;
+//  * the vScale freeze/unfreeze mechanism (Algorithm 2) and the Linux CPU-hotplug
+//    baseline (stop_machine) for comparison.
+
+#ifndef VSCALE_SRC_GUEST_KERNEL_H_
+#define VSCALE_SRC_GUEST_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/cost_model.h"
+#include "src/base/time.h"
+#include "src/guest/sync_objects.h"
+#include "src/guest/thread.h"
+#include "src/hypervisor/domain.h"
+#include "src/hypervisor/guest_os.h"
+#include "src/hypervisor/hv_services.h"
+#include "src/sim/event_queue.h"
+
+namespace vscale {
+
+// Event-channel port conventions within a domain.
+inline constexpr EvtchnPort kPortResched = 0;     // reschedule IPI
+inline constexpr EvtchnPort kPortFreeze = 1;      // vScale freeze/unfreeze IPI (urgent)
+inline constexpr EvtchnPort kPortPvlockKick = 2;  // pv-spinlock kick
+inline constexpr EvtchnPort kPortTimer = 3;       // one-shot timer wakeup
+inline constexpr EvtchnPort kPortIoBase = 16;     // external devices bind from here
+
+struct GuestConfig {
+  bool pv_spinlock = false;
+  // Periodic load balance every N ticks.
+  int ticks_per_balance = 4;
+  // Pull threshold: balance when busiest has this many more runnable threads.
+  int imbalance_threshold = 2;
+  TimeNs wakeup_granularity = Microseconds(500);
+};
+
+struct GuestCpuStats {
+  int64_t timer_ints = 0;
+  int64_t resched_ipis = 0;  // received (paper Figs. 10/13, Table 2)
+  int64_t io_irqs = 0;
+  int64_t guest_switches = 0;
+};
+
+// One virtual CPU as the guest sees it.
+struct GuestCpu {
+  int id = -1;
+  GuestThread* current = nullptr;
+  std::vector<GuestThread*> runq;   // runnable, not current; min-vruntime order
+  TimeNs pending_kernel_ns = 0;     // irq/syscall backlog, consumed before thread work
+  TimeNs min_vruntime = 0;
+  TimeNs next_tick = kTimeNever;    // absolute; kTimeNever while idle (dynamic ticks)
+  TimeNs current_started = 0;       // when `current` was dispatched (slice accounting)
+  int ticks_since_balance = 0;
+  bool hv_running = false;          // vCPU currently holds a pCPU
+  bool frozen = false;              // cpu_freeze_mask bit
+  bool evacuate_pending = false;    // freeze requested; migrate everything on next entry
+  GuestCpuStats stats;
+
+  int load() const {
+    return static_cast<int>(runq.size()) + (current != nullptr ? 1 : 0);
+  }
+};
+
+class GuestKernel : public GuestOs {
+ public:
+  GuestKernel(HvServices& hv, Simulator& sim, Domain& domain, GuestConfig config);
+  ~GuestKernel() override;
+
+  GuestKernel(const GuestKernel&) = delete;
+  GuestKernel& operator=(const GuestKernel&) = delete;
+
+  Domain& domain() { return domain_; }
+  const GuestConfig& guest_config() const { return config_; }
+  const CostModel& cost() const { return cost_; }
+  int n_cpus() const { return static_cast<int>(cpus_.size()); }
+  GuestCpu& cpu(int id) { return cpus_[static_cast<size_t>(id)]; }
+  int online_cpus() const;
+  TimeNs NowNs() const { return hv_.Now(); }
+
+  // --- threads ---
+  // Spawns a thread; placement follows fork balancing unless `pinned_cpu` >= 0.
+  GuestThread& Spawn(const std::string& name, ThreadBody* body,
+                     ThreadType type = ThreadType::kUthread, int pinned_cpu = -1);
+  int live_threads() const { return live_threads_; }
+  const std::vector<std::unique_ptr<GuestThread>>& threads() const { return threads_; }
+  // Aggregate CPU consumed by all threads, the portion burnt busy-waiting, and the
+  // time threads spent queued runnable in the guest scheduler (unmet parallelism).
+  void TotalThreadTimes(TimeNs* cpu_time, TimeNs* spin_time,
+                        TimeNs* wait_time = nullptr) const;
+  std::function<void(GuestThread&)> on_thread_exit;
+
+  // --- sync object factories (handles are indices) ---
+  int CreateSpinFlag();
+  int CreateBarrier(int parties, TimeNs spin_budget_ns);
+  int CreateMutex();
+  int CreateCond();
+  int CreateKernelLock();
+  SpinFlag& spin_flag(int id) { return spin_flags_[static_cast<size_t>(id)]; }
+  GompBarrier& barrier(int id) { return barriers_[static_cast<size_t>(id)]; }
+  AppMutex& mutex(int id) { return mutexes_[static_cast<size_t>(id)]; }
+  AppCond& cond(int id) { return conds_[static_cast<size_t>(id)]; }
+  KernelLock& kernel_lock(int id) { return kernel_locks_[static_cast<size_t>(id)]; }
+
+  // Raises a user spin flag from *outside* any thread context (device/test code).
+  void RaiseSpinFlag(int flag, int64_t value);
+
+  // --- I/O interrupts ---
+  // Allocates an I/O event channel bound to cpu0; handler runs in irq context.
+  EvtchnPort RegisterIoIrq(std::function<void(int cpu)> handler);
+  // Raises the interrupt from device context (routes to the current binding).
+  void RaiseIoIrq(EvtchnPort port);
+  // Rebinds an irq to another vCPU (hypercall; used on freeze, paper section 4.1).
+  void RebindIoIrq(EvtchnPort port, int new_cpu);
+  int IoIrqBinding(EvtchnPort port) const;
+  // Completes the kIoWait op of a blocked thread (called from irq handlers).
+  void CompleteIo(GuestThread& t);
+
+  // --- vScale freeze mechanism (Algorithm 2); policy lives in vscale/ ---
+  // Master-side freeze, executed in the context of `master` (vCPU0's daemon). Returns
+  // the master-side cost, which the caller charges to the daemon thread.
+  TimeNs FreezeCpu(int target);
+  TimeNs UnfreezeCpu(int target);
+  bool IsFrozen(int cpu) const { return cpus_[static_cast<size_t>(cpu)].frozen; }
+  uint64_t freeze_mask() const;
+
+  // --- Linux CPU hotplug baseline (stop_machine; paper section 6 & Fig. 5) ---
+  // Removes/adds a vCPU the legacy way: halts every online vCPU for the sampled
+  // stop_machine window, then migrates. Returns the modeled latency.
+  TimeNs HotplugRemove(int target, TimeNs modeled_latency);
+  TimeNs HotplugAdd(int target, TimeNs modeled_latency);
+
+  // --- GuestOs (hypervisor-facing) ---
+  void OnScheduledIn(VcpuId vcpu, TimeNs now) override;
+  void OnDescheduled(VcpuId vcpu, TimeNs now) override;
+  void Advance(VcpuId vcpu, TimeNs elapsed) override;
+  TimeNs NextEventDelta(VcpuId vcpu) override;
+  void OnDeadline(VcpuId vcpu) override;
+  void DeliverEvent(VcpuId vcpu, EvtchnPort port) override;
+
+ private:
+  friend class KernelSyncOps;
+
+  // --- dispatch & run queues (kernel_sched.cc) ---
+  void EnqueueThread(GuestCpu& c, GuestThread& t);
+  void DequeueThread(GuestCpu& c, GuestThread& t);
+  GuestThread* PickNextThread(GuestCpu& c);
+  // Installs the next thread on c (guest context switch). Safe from any context;
+  // caller must TouchVcpu(c) afterwards if not in c's own advance flow.
+  void DispatchNext(GuestCpu& c);
+  // Stops running `t` on its cpu (requeue or block) and dispatches a successor.
+  void PutCurrent(GuestCpu& c, ThreadState new_state);
+  // Wakes a blocked thread: placement + remote notification (reschedule IPI by
+  // default; timer expiries use the timer port so IPI counters stay faithful).
+  void WakeThread(GuestThread& t, EvtchnPort wake_port = kPortResched);
+  int SelectTaskRq(const GuestThread& t);
+  void MaybePreemptCurrent(GuestCpu& c, GuestThread& wakee);
+  // Kernel spinlock holders and slow-path waiters run with preemption disabled
+  // (spin_lock() = preempt_disable()): the guest scheduler must never requeue them.
+  static bool PreemptDisabled(const GuestThread& t) {
+    return t.held_lock >= 0 || t.waiting_lock >= 0;
+  }
+  void PeriodicBalance(GuestCpu& c);
+  void IdleBalance(GuestCpu& c);
+  void MigrateThread(GuestThread& t, GuestCpu& from, GuestCpu& to);
+  void SendReschedIpi(int from_cpu, int to_cpu, EvtchnPort port = kPortResched);
+  // Settles and re-arms the vCPU of cpu `c` after out-of-context state mutation.
+  void TouchVcpu(GuestCpu& c);
+  void MaybeGoIdle(GuestCpu& c);
+
+  // --- op execution (kernel_sync.cc) ---
+  void FetchNextOp(GuestThread& t);
+  void BeginOp(GuestThread& t);
+  // Completes the current op and fetches the next one.
+  void CompleteOp(GuestThread& t);
+  // The running thread finished its compute/spin boundary; advance its op machine.
+  void OnThreadBoundary(GuestCpu& c, GuestThread& t);
+  void BlockCurrent(GuestCpu& c, GuestThread& t);
+
+  void DoBarrierArrive(GuestCpu& c, GuestThread& t);
+  void ReleaseBarrier(GompBarrier& b);
+  void DoMutexLock(GuestCpu& c, GuestThread& t);
+  void DoMutexUnlock(GuestCpu& c, GuestThread& t);
+  void DoCondWait(GuestCpu& c, GuestThread& t);
+  void DoCondSignal(GuestCpu& c, GuestThread& t, bool broadcast);
+  void DoSpinFlagWait(GuestCpu& c, GuestThread& t);
+  void DoSpinFlagSet(GuestCpu& c, GuestThread& t);
+  void DoKernelLockAcquire(GuestCpu& c, GuestThread& t);
+  void ReleaseKernelLock(int lock_id, GuestThread& releaser);
+  // Grant the lock to `t` (called from releaser context): ends its spin/poll.
+  void GrantKernelLock(KernelLock& kl, GuestThread& t);
+  // The thread, running, begins the critical section of its kKernelWork op.
+  void StartKernelSection(GuestThread& t);
+
+  // Completes an op of a thread that is NOT the caller's execution context: settles
+  // the thread's vCPU, mutates, re-arms. Used by barrier release / flag raise.
+  void CompleteOpRemote(GuestThread& t);
+
+  // --- ticks & interrupts (kernel.cc) ---
+  void HandleTick(GuestCpu& c);
+  void ArmTickIfNeeded(GuestCpu& c);
+  void HandleReschedIpi(GuestCpu& c);
+  void EvacuateCpu(GuestCpu& c);
+
+  // sched_domain/group "power" bookkeeping (updated on freeze; consulted by balance).
+  void UpdateGroupPower();
+
+  HvServices& hv_;
+  Simulator& sim_;
+  Domain& domain_;
+  GuestConfig config_;
+  const CostModel& cost_;
+
+  std::vector<GuestCpu> cpus_;
+  std::vector<std::unique_ptr<GuestThread>> threads_;
+  int live_threads_ = 0;
+
+  std::vector<SpinFlag> spin_flags_;
+  std::vector<GompBarrier> barriers_;
+  std::vector<AppMutex> mutexes_;
+  std::vector<AppCond> conds_;
+  std::vector<KernelLock> kernel_locks_;
+
+  struct IoIrq {
+    int cpu = 0;
+    std::function<void(int)> handler;
+  };
+  std::vector<IoIrq> io_irqs_;  // indexed by port - kPortIoBase
+
+  int total_group_power_ = 0;  // sum of online CPU capacities (1024 each)
+  int rq_scan_start_ = 0;      // rotates find_idlest_cpu tie-breaking
+
+  // Reentrancy guard: depth of OnDeadline/DeliverEvent processing per cpu would be
+  // overkill; a single kernel-wide flag suffices to suppress nested TouchVcpu.
+  bool in_touch_ = false;
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_GUEST_KERNEL_H_

@@ -1,0 +1,75 @@
+// Kernel-owned synchronization objects.
+//
+// The guest kernel owns all sync state so that every thread state transition funnels
+// through one place (GuestKernel). Workload models only hold integer handles.
+//
+// Three layers, mirroring the paper's taxonomy:
+//  * user spin flags           — ad-hoc busy-waiting (lu's pipeline, OpenMP spinning);
+//  * spin-then-futex barriers  — libgomp-style, budget = GOMP_SPINCOUNT * check cost;
+//  * mutex/condvar             — pthread-style sleep-then-wakeup over futex;
+//  * kernel spinlocks          — futex hash buckets / mm locks; vanilla ticket spin or
+//                                pv-spinlock spin-then-yield (SCHEDOP_poll + kick).
+
+#ifndef VSCALE_SRC_GUEST_SYNC_OBJECTS_H_
+#define VSCALE_SRC_GUEST_SYNC_OBJECTS_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace vscale {
+
+class GuestThread;
+
+// Ad-hoc user-level spin flag: a monotonically increasing counter; waiters spin until
+// it reaches their target. Never falls back to blocking.
+struct SpinFlag {
+  int64_t value = 0;
+  std::vector<GuestThread*> spinners;
+};
+
+// OpenMP-style barrier: arrivals spin for up to `spin_budget_ns` of consumed CPU, then
+// futex-wait. The last arrival releases the generation, waking futex sleepers (IPIs)
+// and letting spinners notice "immediately" (their next settle).
+struct GompBarrier {
+  int parties = 0;
+  TimeNs spin_budget_ns = 0;  // 0 = PASSIVE policy (block immediately)
+  int kernel_lock = -1;       // futex hash bucket for the sleep path
+  int64_t generation = 0;
+  int arrived = 0;
+  std::vector<GuestThread*> spinners;  // burning CPU on their vCPUs
+  std::vector<GuestThread*> sleepers;  // futex-blocked
+  int64_t releases = 0;                // statistics
+};
+
+// pthread mutex over futex: uncontended ops stay in user space; contention enters the
+// kernel (hash-bucket spinlock + sleep).
+struct AppMutex {
+  GuestThread* holder = nullptr;
+  std::deque<GuestThread*> waiters;
+  int kernel_lock = -1;  // futex hash bucket protecting the wait queue
+  int64_t contended_acquires = 0;
+};
+
+// pthread condition variable (always used with an AppMutex).
+struct AppCond {
+  std::deque<GuestThread*> waiters;
+  int kernel_lock = -1;
+  int64_t signals = 0;
+};
+
+// In-kernel ticket spinlock. `queue` holds threads whose vCPUs are burning cycles
+// (or pv-yielded) waiting for the ticket handoff.
+struct KernelLock {
+  GuestThread* holder = nullptr;
+  std::deque<GuestThread*> queue;
+  int64_t acquisitions = 0;
+  int64_t contentions = 0;
+  TimeNs total_spin_wait = 0;  // CPU burnt waiting (LHP shows up here)
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_GUEST_SYNC_OBJECTS_H_

@@ -1,0 +1,144 @@
+// Guest-kernel schedulable entities and the operation stream threads execute.
+//
+// Mirrors the paper's Figure 3 classification: user threads and system-wide kthreads
+// are migratable; per-CPU kthreads are pinned and must never be migrated (doing so
+// would panic a real kernel — the simulation asserts instead).
+//
+// A thread's behaviour is a stream of Ops pulled from its ThreadBody. Compute ops
+// consume CPU; synchronization ops interact with kernel-owned sync objects and may
+// block the thread or put it into a (CPU-burning) spin.
+
+#ifndef VSCALE_SRC_GUEST_THREAD_H_
+#define VSCALE_SRC_GUEST_THREAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/time.h"
+
+namespace vscale {
+
+class GuestKernel;
+class GuestThread;
+
+enum class ThreadType {
+  kUthread,        // application thread; migratable
+  kKthreadSystem,  // system-wide kernel daemon (rcu_sched, kauditd); migratable
+  kKthreadPerCpu,  // ksoftirqd/kworker/swapper; pinned, never migrated
+};
+
+enum class ThreadState {
+  kRunnable,  // waiting in a guest-CPU run queue
+  kRunning,   // the current thread of some guest CPU
+  kBlocked,   // waiting on a sync object / timer / I/O
+  kExited,
+};
+
+// What a RUNNING thread does with its CPU time.
+enum class RunMode {
+  kCompute,     // productive work (remaining_ns counts down)
+  kUserSpin,    // user-level busy-wait (spin_remaining_ns counts down)
+  kKernelSpin,  // busy-wait on a kernel spinlock (unbounded unless pv-spinlock)
+};
+
+struct Op {
+  enum class Kind {
+    kCompute,       // run for `duration`
+    kBarrierWait,   // arrive at spin-then-futex barrier `obj`
+    kMutexLock,     // pthread_mutex_lock on mutex `obj`
+    kMutexUnlock,
+    kCondWait,      // pthread_cond_wait on cond `obj` with mutex `obj2` held
+    kCondSignal,    // wake one waiter of cond `obj`
+    kCondBroadcast,
+    kSpinFlagWait,  // ad-hoc user spin until flag `obj` >= `value` (never futexes)
+    kSpinFlagSet,   // raise flag `obj` to `value`, releasing spinners
+    kKernelWork,    // kernel critical section under spinlock `obj` for `duration`
+    kSleep,         // block for `duration` (timer wakeup)
+    kIoWait,        // block until an I/O completion is routed to this thread
+    kYieldLoop,     // placeholder no-op compute of 0; immediately fetches next op
+    kExit,
+  };
+
+  Kind kind = Kind::kExit;
+  TimeNs duration = 0;
+  int obj = -1;
+  int obj2 = -1;
+  int64_t value = 0;
+
+  static Op Compute(TimeNs d) { return {Kind::kCompute, d, -1, -1, 0}; }
+  static Op BarrierWait(int b) { return {Kind::kBarrierWait, 0, b, -1, 0}; }
+  static Op MutexLock(int m) { return {Kind::kMutexLock, 0, m, -1, 0}; }
+  static Op MutexUnlock(int m) { return {Kind::kMutexUnlock, 0, m, -1, 0}; }
+  static Op CondWait(int c, int m) { return {Kind::kCondWait, 0, c, m, 0}; }
+  static Op CondSignal(int c) { return {Kind::kCondSignal, 0, c, -1, 0}; }
+  static Op CondBroadcast(int c) { return {Kind::kCondBroadcast, 0, c, -1, 0}; }
+  static Op SpinFlagWait(int f, int64_t v) { return {Kind::kSpinFlagWait, 0, f, -1, v}; }
+  static Op SpinFlagSet(int f, int64_t v) { return {Kind::kSpinFlagSet, 0, f, -1, v}; }
+  static Op KernelWork(int lock, TimeNs d) { return {Kind::kKernelWork, d, lock, -1, 0}; }
+  static Op Sleep(TimeNs d) { return {Kind::kSleep, d, -1, -1, 0}; }
+  static Op IoWait() { return {Kind::kIoWait, 0, -1, -1, 0}; }
+  static Op Exit() { return {Kind::kExit, 0, -1, -1, 0}; }
+};
+
+// Supplies a thread's operation stream. Implemented by workload models; Next() is
+// called each time the previous op completes. State lives in the body, so op streams
+// can be generated lazily in O(1) memory.
+class ThreadBody {
+ public:
+  virtual ~ThreadBody() = default;
+  virtual Op Next(GuestKernel& kernel, GuestThread& thread) = 0;
+};
+
+class GuestThread {
+ public:
+  GuestThread(int id, std::string name, ThreadType type, ThreadBody* body)
+      : id_(id), name_(std::move(name)), type_(type), body_(body) {}
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ThreadType type() const { return type_; }
+  ThreadBody* body() const { return body_; }
+  bool migratable() const { return type_ != ThreadType::kKthreadPerCpu && pinned_cpu_ < 0; }
+
+  // Hard CPU affinity (vScale leaves such threads alone; see design "Flexibility").
+  int pinned_cpu() const { return pinned_cpu_; }
+  void set_pinned_cpu(int cpu) { pinned_cpu_ = cpu; }
+
+  // Real-time scheduling class: always queued ahead of fair-share threads and never
+  // preempted by them (the vScale daemon runs this way, paper section 4.1).
+  bool rt = false;
+
+  // --- scheduler state (owned by GuestKernel) ---
+  ThreadState state = ThreadState::kBlocked;
+  RunMode run_mode = RunMode::kCompute;
+  int cpu = -1;               // current or last guest CPU
+  TimeNs remaining_ns = 0;    // compute remaining in the current op
+  TimeNs spin_remaining_ns = 0;
+  TimeNs vruntime = 0;
+
+  // --- current op state machine ---
+  Op op;
+  int op_phase = -1;          // -1 = op not yet started; multi-phase ops advance this
+  bool op_active = false;
+  int waiting_lock = -1;      // kernel spinlock this thread is spin-waiting on
+  int held_lock = -1;         // kernel spinlock this thread holds (in critical section)
+
+  // --- statistics ---
+  TimeNs cpu_time = 0;        // productive + spin time consumed
+  TimeNs spin_time = 0;       // portion of cpu_time spent spinning
+  TimeNs wait_time = 0;       // runnable-but-queued time in the guest scheduler
+  TimeNs enqueued_at = 0;
+  int64_t migrations = 0;
+  int64_t wakeups = 0;
+
+ private:
+  int id_;
+  std::string name_;
+  ThreadType type_;
+  ThreadBody* body_;
+  int pinned_cpu_ = -1;
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_GUEST_THREAD_H_

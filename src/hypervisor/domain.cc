@@ -1,0 +1,39 @@
+#include "src/hypervisor/domain.h"
+
+namespace vscale {
+
+Domain::Domain(DomainId id, std::string name, int weight, int n_vcpus)
+    : id_(id), name_(std::move(name)), weight_(weight) {
+  vcpus_.reserve(static_cast<size_t>(n_vcpus));
+  for (int i = 0; i < n_vcpus; ++i) {
+    vcpus_.push_back(std::make_unique<Vcpu>(this, i));
+  }
+}
+
+int Domain::n_active_vcpus() const {
+  int n = 0;
+  for (const auto& v : vcpus_) {
+    if (!v->frozen) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TimeNs Domain::TotalRuntime() const {
+  TimeNs total = 0;
+  for (const auto& v : vcpus_) {
+    total += v->total_runtime;
+  }
+  return total;
+}
+
+TimeNs Domain::TotalWait() const {
+  TimeNs total = 0;
+  for (const auto& v : vcpus_) {
+    total += v->total_wait;
+  }
+  return total;
+}
+
+}  // namespace vscale

@@ -1,0 +1,35 @@
+#include "src/hypervisor/hotplug_model.h"
+
+namespace vscale {
+
+const std::vector<HotplugLatencyParams>& HotplugKernelModels() {
+  // Parameters fitted to the CDFs of Figure 5: removal costs cluster in the tens of
+  // milliseconds with >100 ms tails on every kernel; addition is 350-500 us at best on
+  // 3.14.15 and tens of milliseconds on the other three.
+  static const std::vector<HotplugLatencyParams> kModels = {
+      {"v2.6.32", Milliseconds(8), Milliseconds(55), 0.55,
+       Milliseconds(5), Milliseconds(30), 0.50},
+      {"v3.2.60", Milliseconds(5), Milliseconds(40), 0.55,
+       Milliseconds(4), Milliseconds(22), 0.50},
+      {"v3.14.15", Milliseconds(3), Milliseconds(25), 0.60,
+       Microseconds(350), Microseconds(430), 0.15},
+      {"v4.2", Milliseconds(2), Milliseconds(18), 0.60,
+       Milliseconds(2), Milliseconds(12), 0.45},
+  };
+  return kModels;
+}
+
+TimeNs HotplugModel::SampleRemove() {
+  const double extra = rng_.LogNormal(
+      static_cast<double>(params_.remove_median - params_.remove_floor),
+      params_.remove_sigma);
+  return params_.remove_floor + static_cast<TimeNs>(extra);
+}
+
+TimeNs HotplugModel::SampleAdd() {
+  const double extra = rng_.LogNormal(
+      static_cast<double>(params_.add_median - params_.add_floor), params_.add_sigma);
+  return params_.add_floor + static_cast<TimeNs>(extra);
+}
+
+}  // namespace vscale

@@ -1,0 +1,54 @@
+// Latency models for Linux CPU hotplug across kernel versions (paper Figure 5) and the
+// libxl/XenStore path dom0 uses to trigger it.
+//
+// Linux hotplug serializes the machine through stop_machine() and runs dozens of
+// subsystem notifiers; its latency is heavy-tailed. We model each kernel version's
+// add/remove latency as floor + log-normal, with parameters chosen to match the CDFs
+// reported in the paper (remove: a few ms to >100 ms; add: 350-500 us at best on 3.14,
+// tens of ms on older kernels).
+
+#ifndef VSCALE_SRC_HYPERVISOR_HOTPLUG_MODEL_H_
+#define VSCALE_SRC_HYPERVISOR_HOTPLUG_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+
+namespace vscale {
+
+struct HotplugLatencyParams {
+  std::string kernel;
+  // CPU-remove (unplug): stop_machine + CPU_DYING notifiers.
+  TimeNs remove_floor;
+  TimeNs remove_median;
+  double remove_sigma;
+  // CPU-add (plug): notifier chain, no stop_machine on modern kernels.
+  TimeNs add_floor;
+  TimeNs add_median;
+  double add_sigma;
+};
+
+// The four kernel versions evaluated in the paper.
+const std::vector<HotplugLatencyParams>& HotplugKernelModels();
+
+class HotplugModel {
+ public:
+  HotplugModel(const HotplugLatencyParams& params, Rng rng)
+      : params_(params), rng_(rng) {}
+
+  const std::string& kernel() const { return params_.kernel; }
+
+  // Samples one CPU-remove / CPU-add latency.
+  TimeNs SampleRemove();
+  TimeNs SampleAdd();
+
+ private:
+  HotplugLatencyParams params_;
+  Rng rng_;
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_HYPERVISOR_HOTPLUG_MODEL_H_

@@ -1,0 +1,55 @@
+// Services a guest kernel may request from the hypervisor (hypercall surface plus the
+// simulation-control hooks the co-simulation needs). Implemented by Machine.
+
+#ifndef VSCALE_SRC_HYPERVISOR_HV_SERVICES_H_
+#define VSCALE_SRC_HYPERVISOR_HV_SERVICES_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+#include "src/hypervisor/types.h"
+
+namespace vscale {
+
+class HvServices {
+ public:
+  virtual ~HvServices() = default;
+
+  virtual TimeNs Now() const = 0;
+  virtual Rng& rng() = 0;
+
+  // SCHEDOP_block: the calling vCPU has nothing to run and gives up its pCPU. The guest
+  // calls this from OnDeadline (never re-entrantly from Advance).
+  virtual void BlockVcpu(DomainId dom, VcpuId vcpu) = 0;
+
+  // Event-channel notify targeting a vCPU: wakes it with BOOST eligibility if blocked,
+  // marks the port pending otherwise. `urgent` additionally tickles the scheduler so a
+  // runnable-but-queued target gets priority (vScale's freeze/unfreeze IPI fast path,
+  // paper section 4.2).
+  virtual void NotifyEvent(DomainId dom, VcpuId target, EvtchnPort port,
+                           bool urgent = false) = 0;
+
+  // SCHEDOP_yield: give up the pCPU but stay runnable (pv-spinlock slow path).
+  virtual void YieldVcpu(DomainId dom, VcpuId vcpu) = 0;
+
+  // Poll-block until `port` is notified (pv-spinlock SCHEDOP_poll analogue).
+  virtual void PollVcpu(DomainId dom, VcpuId vcpu, EvtchnPort port) = 0;
+
+  // SCHEDOP_freezecpu: the guest marked `vcpu` frozen/unfrozen; the hypervisor removes
+  // it from / returns it to the domain's active (credit-earning) list.
+  virtual void NotifyFreeze(DomainId dom, VcpuId vcpu, bool frozen) = 0;
+
+  // SCHEDOP_getvscaleinfo: read the domain's CPU extendability mailbox. Returns the
+  // optimal active-vCPU count computed by the vScale ticker (0 if never computed).
+  virtual int ReadExtendability(DomainId dom) = 0;
+
+  // The guest changed the state of a RUNNING vCPU from *outside* that vCPU's own
+  // Advance/OnDeadline flow (e.g. another vCPU released a spin variable it waits on).
+  // The hypervisor settles and recomputes the advance deadline.
+  virtual void VcpuStateChanged(DomainId dom, VcpuId vcpu) = 0;
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_HYPERVISOR_HV_SERVICES_H_

@@ -1,0 +1,622 @@
+#include "src/hypervisor/machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/base/log.h"
+
+namespace vscale {
+
+Machine::Machine(MachineConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  pcpus_.resize(static_cast<size_t>(config_.n_pcpus));
+  for (int i = 0; i < config_.n_pcpus; ++i) {
+    pcpus_[static_cast<size_t>(i)].id = i;
+  }
+  tick_task_ = std::make_unique<PeriodicTask>(sim_, config_.cost.hv_tick_period,
+                                              [this] { HvTick(); });
+  acct_task_ = std::make_unique<PeriodicTask>(sim_, config_.cost.hv_accounting_period,
+                                              [this] { Accounting(); });
+  tick_task_->Start();
+  acct_task_->Start();
+}
+
+Machine::~Machine() = default;
+
+Domain& Machine::CreateDomain(const std::string& name, int weight, int n_vcpus) {
+  const DomainId id = static_cast<DomainId>(domains_.size());
+  domains_.push_back(std::make_unique<Domain>(id, name, weight, n_vcpus));
+  int base = domain_vcpu_base_.empty()
+                 ? 0
+                 : domain_vcpu_base_.back() + domains_[domains_.size() - 2]->n_vcpus();
+  domain_vcpu_base_.push_back(base);
+  pending_ports_.resize(static_cast<size_t>(base + n_vcpus));
+  Domain& d = *domains_.back();
+  // New vCPUs start blocked with a fresh credit balance so first wakeups boost.
+  for (int i = 0; i < n_vcpus; ++i) {
+    Vcpu& v = d.vcpu(i);
+    v.credit_ns = config_.cost.hv_accounting_period;
+    v.priority = CreditPriority::kUnder;
+    v.wait_since = sim_.Now();
+  }
+  return d;
+}
+
+int Machine::GlobalIndex(const Vcpu& v) const {
+  return domain_vcpu_base_[static_cast<size_t>(v.domain()->id())] + v.id();
+}
+
+void Machine::StartVcpu(DomainId dom, VcpuId vcpu) {
+  Vcpu& v = GetVcpu(dom, vcpu);
+  if (v.state == VcpuState::kBlocked) {
+    WakeVcpu(v, /*boost_eligible=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run-queue maintenance
+// ---------------------------------------------------------------------------
+
+void Machine::InsertRunnable(Vcpu& v, bool at_head_of_prio, bool tickle_idlers) {
+  assert(v.state == VcpuState::kRunnable);
+  Pcpu* p = nullptr;
+  if (v.pcpu >= 0) {
+    p = &pcpus_[static_cast<size_t>(v.pcpu)];
+  }
+  if (p == nullptr || (p->current != nullptr && tickle_idlers)) {
+    // Wake placement: an idle pCPU if there is one (Xen tickles idlers), otherwise
+    // stay on the previous pCPU (v->processor affinity). Sticky placement is what
+    // concentrates queues under load and produces the paper's tens-of-milliseconds
+    // scheduling delays.
+    if (Pcpu* idle = FindIdlePcpu()) {
+      p = idle;
+    } else if (p == nullptr || config_.wake_spreads_load) {
+      Pcpu* best = p;
+      for (auto& cand : pcpus_) {
+        if (best == nullptr || cand.runq.size() < best->runq.size()) {
+          best = &cand;
+        }
+      }
+      p = best;
+    }
+  }
+  v.pcpu = p->id;
+  auto& q = p->runq;
+  auto pos = q.begin();
+  if (at_head_of_prio) {
+    while (pos != q.end() && (*pos)->priority < v.priority) {
+      ++pos;
+    }
+  } else {
+    while (pos != q.end() && (*pos)->priority <= v.priority) {
+      ++pos;
+    }
+  }
+  q.insert(pos, &v);
+  if (p->current == nullptr) {
+    ScheduleDecision(*p);
+  } else {
+    MaybePreempt(*p);
+  }
+}
+
+void Machine::RemoveFromRunq(Vcpu& v) {
+  if (v.pcpu < 0) {
+    return;
+  }
+  auto& q = pcpus_[static_cast<size_t>(v.pcpu)].runq;
+  auto it = std::find(q.begin(), q.end(), &v);
+  if (it != q.end()) {
+    q.erase(it);
+  }
+}
+
+Machine::Pcpu* Machine::FindIdlePcpu() {
+  for (auto& p : pcpus_) {
+    if (p.current == nullptr) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+bool Machine::Schedulable(const Vcpu& v) const {
+  // Note: frozen vCPUs stay schedulable — the freeze flag only removes them from the
+  // credit distribution (csched_acct). They still need the pCPU briefly to run their
+  // evacuation, after which they block voluntarily and never wake until unfrozen.
+  return !v.domain()->capped_out;
+}
+
+Vcpu* Machine::PickFromRunq(Pcpu& p) {
+  for (auto it = p.runq.begin(); it != p.runq.end(); ++it) {
+    if (Schedulable(**it)) {
+      Vcpu* v = *it;
+      p.runq.erase(it);
+      return v;
+    }
+  }
+  return nullptr;
+}
+
+Vcpu* Machine::StealWork(Pcpu& thief) {
+  Vcpu* best = nullptr;
+  Pcpu* victim = nullptr;
+  for (auto& p : pcpus_) {
+    if (p.id == thief.id) {
+      continue;
+    }
+    for (Vcpu* v : p.runq) {
+      if (!Schedulable(*v)) {
+        continue;
+      }
+      if (best == nullptr || v->priority < best->priority) {
+        best = v;
+        victim = &p;
+      }
+      break;  // runq is priority-sorted; first schedulable is this queue's best
+    }
+  }
+  if (best != nullptr) {
+    auto& q = victim->runq;
+    q.erase(std::find(q.begin(), q.end(), best));
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void Machine::ScheduleDecision(Pcpu& p) {
+  if (p.current != nullptr) {
+    return;
+  }
+  Vcpu* next = PickFromRunq(p);
+  if (next == nullptr && config_.work_stealing) {
+    next = StealWork(p);
+  }
+  if (next == nullptr) {
+    if (on_schedule_hook) {
+      on_schedule_hook(p.id, nullptr);
+    }
+    return;  // stays idle; idle_since was set when the pCPU was vacated
+  }
+  RunOn(p, *next);
+}
+
+void Machine::RunOn(Pcpu& p, Vcpu& v) {
+  assert(p.current == nullptr);
+  assert(v.state == VcpuState::kRunnable);
+  const TimeNs now = sim_.Now();
+  p.total_idle += now - p.idle_since;
+  p.current = &v;
+  v.state = VcpuState::kRunning;
+  v.pcpu = p.id;
+  v.total_wait += now - v.wait_since;
+  if (now > v.wait_since) {
+    v.domain()->wait_histogram.Add(now - v.wait_since);
+  }
+  // Window demand accounting: only the part of the wait inside the current window
+  // (the pro-rated remainder was already reported by WindowWaited).
+  v.domain()->waited_in_window += now - std::max(v.wait_since, window_start_);
+  v.run_since = now;
+  v.last_settle = now;
+  v.slice_end = now + config_.cost.hv_time_slice;
+  ++context_switches_;
+  GuestOs* guest = v.domain()->guest();
+  guest->OnScheduledIn(v.id(), now);
+  DrainPendingPorts(v);
+  if (v.state == VcpuState::kRunning) {
+    RearmAdvance(v);
+  }
+  if (on_schedule_hook) {
+    on_schedule_hook(p.id, &v);
+  }
+}
+
+void Machine::DrainPendingPorts(Vcpu& v) {
+  auto& pending = pending_ports_[static_cast<size_t>(GlobalIndex(v))];
+  while (!pending.empty() && v.state == VcpuState::kRunning) {
+    const EvtchnPort port = pending.front();
+    pending.erase(pending.begin());
+    v.domain()->guest()->DeliverEvent(v.id(), port);
+  }
+}
+
+void Machine::SettleRunning(Vcpu& v) {
+  assert(v.state == VcpuState::kRunning);
+  const TimeNs now = sim_.Now();
+  const TimeNs elapsed = now - v.last_settle;
+  if (elapsed <= 0) {
+    return;
+  }
+  v.last_settle = now;
+  v.total_runtime += elapsed;
+  v.credit_ns -= elapsed;
+  Domain& d = *v.domain();
+  d.consumed_in_window += elapsed;
+  d.consumed_in_acct_window += elapsed;
+  d.guest()->Advance(v.id(), elapsed);
+}
+
+void Machine::RearmAdvance(Vcpu& v) {
+  assert(v.state == VcpuState::kRunning);
+  sim_.Cancel(v.advance_event);
+  const TimeNs now = sim_.Now();
+  const TimeNs dt = v.domain()->guest()->NextEventDelta(v.id());
+  TimeNs deadline = v.slice_end;
+  if (dt != kTimeNever && now + dt < deadline) {
+    deadline = now + dt;
+  }
+  if (deadline < now) {
+    deadline = now;
+  }
+  v.advance_event = sim_.ScheduleAt(deadline, [this, &v] { OnAdvance(v); });
+}
+
+void Machine::OnAdvance(Vcpu& v) {
+  v.advance_event = Simulator::kInvalidEvent;
+  if (v.state != VcpuState::kRunning) {
+    return;  // stale event that lost a cancellation race; harmless
+  }
+  SettleRunning(v);
+  Pcpu& p = PcpuOf(v);
+  if (sim_.Now() >= v.slice_end) {
+    DescheduleCurrent(p, VcpuState::kRunnable);
+    ScheduleDecision(p);
+    return;
+  }
+  v.domain()->guest()->OnDeadline(v.id());
+  if (v.state == VcpuState::kRunning && v.advance_event == Simulator::kInvalidEvent) {
+    RearmAdvance(v);
+  }
+}
+
+void Machine::DescheduleCurrent(Pcpu& p, VcpuState new_state, bool requeue_tail) {
+  Vcpu& v = *p.current;
+  const TimeNs now = sim_.Now();
+  sim_.Cancel(v.advance_event);
+  v.advance_event = Simulator::kInvalidEvent;
+  sim_.Cancel(p.ratelimit_check);
+  p.ratelimit_check = Simulator::kInvalidEvent;
+  p.current = nullptr;
+  p.idle_since = now;
+  v.domain()->guest()->OnDescheduled(v.id(), now);
+  // BOOST ends when the vCPU loses the pCPU.
+  if (v.priority == CreditPriority::kBoost) {
+    v.priority = v.credit_ns > 0 ? CreditPriority::kUnder : CreditPriority::kOver;
+  }
+  v.state = new_state;
+  v.wait_since = now;
+  if (new_state == VcpuState::kRunnable) {
+    // Slice-end requeues stay local (no idler tickle): in Xen a descheduled vCPU
+    // lingers on its pCPU's runq until an idler's load balance finds it.
+    InsertRunnable(v, /*at_head_of_prio=*/!requeue_tail, /*tickle_idlers=*/false);
+  }
+}
+
+void Machine::WakeVcpu(Vcpu& v, bool boost_eligible) {
+  assert(v.state == VcpuState::kBlocked);
+  const TimeNs now = sim_.Now();
+  v.total_blocked += now - v.wait_since;
+  ++v.wakeups;
+  v.polling = false;
+  v.poll_port = -1;
+  if (boost_eligible && v.priority == CreditPriority::kUnder) {
+    v.priority = CreditPriority::kBoost;
+  }
+  v.state = VcpuState::kRunnable;
+  v.wait_since = now;
+  InsertRunnable(v);
+}
+
+void Machine::MaybePreempt(Pcpu& p) {
+  if (p.current == nullptr) {
+    ScheduleDecision(p);
+    return;
+  }
+  // Find the best schedulable priority waiting on this pCPU.
+  CreditPriority best = CreditPriority::kOver;
+  bool found = false;
+  for (Vcpu* v : p.runq) {
+    if (Schedulable(*v)) {
+      best = v->priority;
+      found = true;
+      break;
+    }
+  }
+  if (!found || best >= p.current->priority) {
+    return;
+  }
+  const TimeNs now = sim_.Now();
+  const TimeNs ran = now - p.current->run_since;
+  if (ran < config_.cost.hv_ratelimit) {
+    // Xen's sched_ratelimit: defer the preemption until the minimum run is served.
+    if (p.ratelimit_check == Simulator::kInvalidEvent) {
+      const TimeNs when = p.current->run_since + config_.cost.hv_ratelimit;
+      p.ratelimit_check = sim_.ScheduleAt(when, [this, &p] {
+        p.ratelimit_check = Simulator::kInvalidEvent;
+        MaybePreempt(p);
+      });
+    }
+    return;
+  }
+  SettleRunning(*p.current);
+  ++p.current->preemptions;
+  DescheduleCurrent(p, VcpuState::kRunnable);
+  ScheduleDecision(p);
+}
+
+// ---------------------------------------------------------------------------
+// Periodic machinery
+// ---------------------------------------------------------------------------
+
+void Machine::HvTick() {
+  for (auto& p : pcpus_) {
+    if (p.current == nullptr) {
+      // Tickless idle: a halted pCPU does not poll for work — it waits for a wakeup
+      // tickle. Work stealing happens only at natural scheduling points (a pCPU
+      // vacating), which is what leaves preempted vCPUs parked for slice-scale
+      // delays under load — the effect vScale exists to avoid.
+      continue;
+    }
+    Vcpu& v = *p.current;
+    SettleRunning(v);
+    // Xen demotes BOOST at the first tick and refreshes priority from the balance.
+    v.priority = v.credit_ns > 0 ? CreditPriority::kUnder : CreditPriority::kOver;
+    // Cap enforcement at tick granularity.
+    Domain& d = *v.domain();
+    if (d.cap_pcpus() > 0.0) {
+      const TimeNs budget = static_cast<TimeNs>(
+          d.cap_pcpus() * static_cast<double>(config_.cost.hv_accounting_period));
+      if (d.consumed_in_acct_window >= budget) {
+        d.capped_out = true;
+      }
+    }
+    if (d.capped_out) {
+      DescheduleCurrent(p, VcpuState::kRunnable);
+      ScheduleDecision(p);
+      continue;
+    }
+    MaybePreempt(p);
+  }
+}
+
+void Machine::Accounting() {
+  const TimeNs period = config_.cost.hv_accounting_period;
+  const TimeNs capacity = static_cast<TimeNs>(config_.n_pcpus) * period;
+
+  // A domain is acct-active if it consumed CPU this window or has demand right now.
+  auto is_active = [&](const Domain& d) {
+    if (d.consumed_in_acct_window > 0) {
+      return true;
+    }
+    for (int i = 0; i < d.n_vcpus(); ++i) {
+      const VcpuState s = d.vcpu(i).state;
+      if (s == VcpuState::kRunning || s == VcpuState::kRunnable) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto effective_weight = [&](const Domain& d) -> int64_t {
+    const int64_t w = d.weight();
+    if (config_.per_domain_weight) {
+      return w;
+    }
+    return w * std::max(1, d.n_active_vcpus());
+  };
+
+  int64_t total_weight = 0;
+  for (const auto& d : domains_) {
+    if (is_active(*d)) {
+      total_weight += effective_weight(*d);
+    }
+  }
+
+  for (const auto& d : domains_) {
+    const int n_active = std::max(1, d->n_active_vcpus());
+    if (is_active(*d) && total_weight > 0) {
+      const TimeNs dom_credit = static_cast<TimeNs>(
+          static_cast<double>(capacity) * static_cast<double>(effective_weight(*d)) /
+          static_cast<double>(total_weight));
+      const TimeNs share = dom_credit / n_active;
+      for (int i = 0; i < d->n_vcpus(); ++i) {
+        Vcpu& v = d->vcpu(i);
+        if (v.frozen) {
+          continue;  // removed from the active list (csched_acct with vScale patch)
+        }
+        v.credit_ns = std::clamp<TimeNs>(v.credit_ns + share, -period, period);
+      }
+    } else {
+      // Idle domains keep a warm positive balance so their wakeups are UNDER/BOOST.
+      for (int i = 0; i < d->n_vcpus(); ++i) {
+        Vcpu& v = d->vcpu(i);
+        if (!v.frozen && v.credit_ns < period) {
+          v.credit_ns = period;
+        }
+      }
+    }
+    d->capped_out = false;
+    d->consumed_in_acct_window = 0;
+  }
+
+  // Refresh queued vCPUs' priorities and resort queues.
+  for (auto& p : pcpus_) {
+    for (Vcpu* v : p.runq) {
+      if (v->priority != CreditPriority::kBoost) {
+        v->priority = v->credit_ns > 0 ? CreditPriority::kUnder : CreditPriority::kOver;
+      }
+    }
+    std::stable_sort(p.runq.begin(), p.runq.end(),
+                     [](const Vcpu* a, const Vcpu* b) { return a->priority < b->priority; });
+  }
+  for (auto& p : pcpus_) {
+    MaybePreempt(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hypercall surface
+// ---------------------------------------------------------------------------
+
+void Machine::BlockVcpu(DomainId dom, VcpuId vcpu) {
+  Vcpu& v = GetVcpu(dom, vcpu);
+  if (v.state != VcpuState::kRunning) {
+    return;
+  }
+  Pcpu& p = PcpuOf(v);
+  SettleRunning(v);
+  DescheduleCurrent(p, VcpuState::kBlocked);
+  ScheduleDecision(p);
+}
+
+void Machine::NotifyEvent(DomainId dom, VcpuId target, EvtchnPort port, bool urgent) {
+  Vcpu& v = GetVcpu(dom, target);
+  switch (v.state) {
+    case VcpuState::kBlocked: {
+      pending_ports_[static_cast<size_t>(GlobalIndex(v))].push_back(port);
+      WakeVcpu(v, /*boost_eligible=*/true);
+      break;
+    }
+    case VcpuState::kRunnable: {
+      pending_ports_[static_cast<size_t>(GlobalIndex(v))].push_back(port);
+      if (urgent) {
+        // vScale: prioritize the reconfigured vCPU so freeze/unfreeze IPIs land fast.
+        RemoveFromRunq(v);
+        if (v.priority != CreditPriority::kBoost) {
+          v.priority = CreditPriority::kBoost;
+        }
+        InsertRunnable(v, /*at_head_of_prio=*/true);
+      }
+      break;
+    }
+    case VcpuState::kRunning: {
+      SettleRunning(v);
+      v.domain()->guest()->DeliverEvent(v.id(), port);
+      if (v.state == VcpuState::kRunning) {
+        RearmAdvance(v);
+      }
+      break;
+    }
+  }
+}
+
+void Machine::YieldVcpu(DomainId dom, VcpuId vcpu) {
+  Vcpu& v = GetVcpu(dom, vcpu);
+  if (v.state != VcpuState::kRunning) {
+    return;
+  }
+  Pcpu& p = PcpuOf(v);
+  SettleRunning(v);
+  DescheduleCurrent(p, VcpuState::kRunnable);
+  ScheduleDecision(p);
+}
+
+void Machine::PollVcpu(DomainId dom, VcpuId vcpu, EvtchnPort port) {
+  Vcpu& v = GetVcpu(dom, vcpu);
+  if (v.state != VcpuState::kRunning) {
+    return;
+  }
+  Pcpu& p = PcpuOf(v);
+  SettleRunning(v);
+  DescheduleCurrent(p, VcpuState::kBlocked);
+  v.polling = true;
+  v.poll_port = port;
+  ScheduleDecision(p);
+}
+
+void Machine::NotifyFreeze(DomainId dom, VcpuId vcpu, bool frozen) {
+  Vcpu& v = GetVcpu(dom, vcpu);
+  v.frozen = frozen;
+  if (!frozen) {
+    // Re-entering the active list: seed the vCPU with the domain's average active
+    // balance so it does not sit OVER behind everyone until the next accounting pass.
+    Domain& d = *domains_[static_cast<size_t>(dom)];
+    TimeNs sum = 0;
+    int n = 0;
+    for (int i = 0; i < d.n_vcpus(); ++i) {
+      const Vcpu& peer = d.vcpu(i);
+      if (!peer.frozen && i != vcpu) {
+        sum += peer.credit_ns;
+        ++n;
+      }
+    }
+    if (n > 0) {
+      v.credit_ns = std::max(v.credit_ns, sum / n);
+    }
+    v.priority = v.credit_ns > 0 ? CreditPriority::kUnder : CreditPriority::kOver;
+  }
+}
+
+int Machine::ReadExtendability(DomainId dom) {
+  return domains_[static_cast<size_t>(dom)]->extendability_nvcpus;
+}
+
+void Machine::VcpuStateChanged(DomainId dom, VcpuId vcpu) {
+  Vcpu& v = GetVcpu(dom, vcpu);
+  if (v.state == VcpuState::kRunning) {
+    SettleRunning(v);
+    RearmAdvance(v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// vScale ticker interface & statistics
+// ---------------------------------------------------------------------------
+
+TimeNs Machine::WindowConsumption(DomainId dom) const {
+  return domains_[static_cast<size_t>(dom)]->consumed_in_window;
+}
+
+TimeNs Machine::WindowWaited(DomainId dom) const {
+  const Domain& d = *domains_[static_cast<size_t>(dom)];
+  TimeNs waited = d.waited_in_window;
+  // Include in-progress waits, pro-rated to this window: queueing stints routinely
+  // outlast the 10 ms recalculation window, and missing them would misclassify
+  // throttled VMs as releasers.
+  const TimeNs now = sim_.Now();
+  for (int i = 0; i < d.n_vcpus(); ++i) {
+    const Vcpu& v = d.vcpu(i);
+    if (v.state == VcpuState::kRunnable) {
+      waited += now - std::max(v.wait_since, window_start_);
+    }
+  }
+  return waited;
+}
+
+void Machine::ResetConsumptionWindow() {
+  for (auto& d : domains_) {
+    d->consumed_in_window = 0;
+    d->waited_in_window = 0;
+  }
+  window_start_ = sim_.Now();
+}
+
+void Machine::WriteExtendability(DomainId dom, int n_vcpus, TimeNs ext_ns) {
+  Domain& d = *domains_[static_cast<size_t>(dom)];
+  d.extendability_nvcpus = n_vcpus;
+  d.extendability_ns = ext_ns;
+}
+
+TimeNs Machine::TotalIdleTime() const {
+  TimeNs total = 0;
+  for (const auto& p : pcpus_) {
+    total += p.total_idle;
+    if (p.current == nullptr) {
+      total += sim_.Now() - p.idle_since;
+    }
+  }
+  return total;
+}
+
+double Machine::PoolUtilization() const {
+  const TimeNs elapsed = sim_.Now();
+  if (elapsed <= 0) {
+    return 0.0;
+  }
+  const double capacity = static_cast<double>(elapsed) * config_.n_pcpus;
+  return 1.0 - static_cast<double>(TotalIdleTime()) / capacity;
+}
+
+}  // namespace vscale

@@ -1,0 +1,178 @@
+// Machine: the simulated physical host — pCPU pool plus a Xen credit1-style scheduler
+// and the hypercall surface (HvServices) guests program against.
+//
+// Scheduling model (mirrors Xen's sched_credit.c):
+//  * per-pCPU run queues ordered BOOST > UNDER > OVER, FIFO within a priority;
+//  * 30 ms scheduling slice, 10 ms ticks that refresh priorities and check preemption;
+//  * 30 ms accounting that distributes credits to domains proportionally to their
+//    per-domain weight, split across *active* (non-frozen) vCPUs — the vScale patch;
+//  * BOOST for vCPUs woken from block by an event (I/O or virtual IPI);
+//  * work-conserving idle stealing across the pool;
+//  * a wakeup ratelimit: a vCPU that just started running is not preempted for
+//    hv_ratelimit ns, matching Xen's sched_ratelimit_us.
+//
+// Co-simulation: each RUNNING vCPU has exactly one pending advance event at
+// min(guest-internal boundary, slice end). All state changes settle elapsed time first
+// (SettleRunning), then recompute the deadline. See guest_os.h for the contract.
+
+#ifndef VSCALE_SRC_HYPERVISOR_MACHINE_H_
+#define VSCALE_SRC_HYPERVISOR_MACHINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/cost_model.h"
+#include "src/base/rng.h"
+#include "src/base/time.h"
+#include "src/hypervisor/domain.h"
+#include "src/hypervisor/guest_os.h"
+#include "src/hypervisor/hv_services.h"
+#include "src/hypervisor/types.h"
+#include "src/sim/event_queue.h"
+
+namespace vscale {
+
+struct MachineConfig {
+  int n_pcpus = 4;
+  CostModel cost;
+  uint64_t seed = 1;
+  bool work_stealing = true;
+  // Wake placement when no pCPU idles: false = stay on v->processor (sticky);
+  // true = pick the shallowest run queue (csched_cpu_pick-style spreading). Spreading
+  // lets bursty VMs' BOOST wakeups displace busy vCPUs anywhere — the source of the
+  // scheduling delays consolidated SMP guests suffer.
+  bool wake_spreads_load = true;
+  // When false (stock Xen 4.5), weight is per-vCPU: a domain's entitlement scales with
+  // its active vCPU count, which penalizes freezing (the unfairness vScale's patch
+  // fixes, paper section 4.2). When true (vScale), weight is per-domain.
+  bool per_domain_weight = true;
+};
+
+class Machine : public HvServices {
+ public:
+  explicit Machine(MachineConfig config);
+  ~Machine() override;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  Simulator& sim() { return sim_; }
+  const MachineConfig& config() const { return config_; }
+  const CostModel& cost() const { return config_.cost; }
+
+  // Creates a domain; the caller attaches a GuestOs before starting vCPUs.
+  Domain& CreateDomain(const std::string& name, int weight, int n_vcpus);
+  int n_domains() const { return static_cast<int>(domains_.size()); }
+  Domain& domain(DomainId id) { return *domains_[static_cast<size_t>(id)]; }
+  const std::vector<std::unique_ptr<Domain>>& domains() const { return domains_; }
+
+  int n_pcpus() const { return static_cast<int>(pcpus_.size()); }
+
+  // Kicks a blocked vCPU into the run queues (used at boot / by tests).
+  void StartVcpu(DomainId dom, VcpuId vcpu);
+
+  // --- HvServices (guest-facing hypercall surface) ---
+  TimeNs Now() const override { return sim_.Now(); }
+  Rng& rng() override { return rng_; }
+  void BlockVcpu(DomainId dom, VcpuId vcpu) override;
+  void NotifyEvent(DomainId dom, VcpuId target, EvtchnPort port,
+                   bool urgent = false) override;
+  void YieldVcpu(DomainId dom, VcpuId vcpu) override;
+  void PollVcpu(DomainId dom, VcpuId vcpu, EvtchnPort port) override;
+  void NotifyFreeze(DomainId dom, VcpuId vcpu, bool frozen) override;
+  int ReadExtendability(DomainId dom) override;
+  void VcpuStateChanged(DomainId dom, VcpuId vcpu) override;
+
+  // --- vScale ticker interface (hypervisor-side extension, written by vscale/) ---
+  // Per-domain CPU consumed since the last ResetConsumptionWindow().
+  TimeNs WindowConsumption(DomainId dom) const;
+  // Per-domain runnable-wait (unmet demand) in the same window.
+  TimeNs WindowWaited(DomainId dom) const;
+  void ResetConsumptionWindow();
+  void WriteExtendability(DomainId dom, int n_vcpus, TimeNs ext_ns);
+
+  // --- statistics ---
+  TimeNs PcpuIdleTime(PcpuId p) const { return pcpus_[static_cast<size_t>(p)].total_idle; }
+  TimeNs TotalIdleTime() const;
+  int64_t context_switches() const { return context_switches_; }
+  // Fraction of pool capacity consumed so far (all domains).
+  double PoolUtilization() const;
+
+  // Invoked after every scheduling decision; for tracing (Fig. 8) and tests.
+  std::function<void(PcpuId, Vcpu*)> on_schedule_hook;
+
+ private:
+  struct Pcpu {
+    PcpuId id = -1;
+    Vcpu* current = nullptr;  // nullptr = idle
+    std::vector<Vcpu*> runq;  // priority buckets flattened: sorted stably by priority
+    TimeNs idle_since = 0;
+    TimeNs total_idle = 0;
+    Simulator::EventId ratelimit_check = Simulator::kInvalidEvent;
+  };
+
+  Vcpu& GetVcpu(DomainId dom, VcpuId vcpu) {
+    return domains_[static_cast<size_t>(dom)]->vcpu(vcpu);
+  }
+  Pcpu& PcpuOf(const Vcpu& v) { return pcpus_[static_cast<size_t>(v.pcpu)]; }
+
+  // Run-queue maintenance. `tickle_idlers` distinguishes wakeups (Xen tickles idle
+  // pCPUs) from slice-end requeues (local queue only; idlers pick the vCPU up at
+  // their next tick-driven steal) — the latter is a real source of scheduling delay.
+  void InsertRunnable(Vcpu& v, bool at_head_of_prio = false, bool tickle_idlers = true);
+  void RemoveFromRunq(Vcpu& v);
+  Pcpu* FindIdlePcpu();
+
+  // Makes a scheduling decision on an idle-or-vacated pCPU.
+  void ScheduleDecision(Pcpu& p);
+  Vcpu* PickFromRunq(Pcpu& p);
+  Vcpu* StealWork(Pcpu& thief);
+  bool Schedulable(const Vcpu& v) const;
+
+  // Puts v on p (v must be runnable and dequeued); installs slice + advance event.
+  void RunOn(Pcpu& p, Vcpu& v);
+
+  // Settles elapsed runtime of a RUNNING vCPU into credits, domain windows and the
+  // guest. Idempotent at a given Now().
+  void SettleRunning(Vcpu& v);
+
+  // Recomputes and installs the advance event for a settled, still-running vCPU.
+  void RearmAdvance(Vcpu& v);
+
+  void OnAdvance(Vcpu& v);
+
+  // Takes the pCPU away from its current vCPU (already settled) and requeues/blocks it.
+  void DescheduleCurrent(Pcpu& p, VcpuState new_state, bool requeue_tail = true);
+
+  // Wakes a blocked vCPU (event arrival): BOOST eligibility + insert + tickle.
+  void WakeVcpu(Vcpu& v, bool boost_eligible);
+
+  // If v (runnable, queued on p) outranks what p runs, preempt subject to ratelimit.
+  void MaybePreempt(Pcpu& p);
+
+  void HvTick();       // every cost.hv_tick_period: priority refresh + preempt checks
+  void Accounting();   // every cost.hv_accounting_period: credit distribution
+
+  void DrainPendingPorts(Vcpu& v);
+
+  MachineConfig config_;
+  Simulator sim_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  std::vector<Pcpu> pcpus_;
+  std::vector<std::vector<EvtchnPort>> pending_ports_;  // [global vcpu index]
+  std::unique_ptr<PeriodicTask> tick_task_;
+  std::unique_ptr<PeriodicTask> acct_task_;
+  int64_t context_switches_ = 0;
+  TimeNs window_start_ = 0;  // start of the current vScale consumption window
+
+  // Global vCPU index assignment for pending_ports_.
+  int GlobalIndex(const Vcpu& v) const;
+  std::vector<int> domain_vcpu_base_;
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_HYPERVISOR_MACHINE_H_

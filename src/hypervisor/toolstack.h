@@ -1,0 +1,46 @@
+// Centralized dom0/libxl monitoring model — the baseline vScale's per-VM channel is
+// compared against (paper Figure 4, section 5.1.1).
+//
+// Reading one VM's CPU consumption through libxl costs a XenStore transaction plus
+// hypercalls executed inside dom0 (~480 us when dom0 is idle). dom0 is also the I/O
+// proxy for every domU, so background disk/network traffic queues ahead of toolstack
+// work and inflates the read latency; reading N VMs is serialized and therefore scales
+// linearly. VCPU-Bal uses exactly this path.
+
+#ifndef VSCALE_SRC_HYPERVISOR_TOOLSTACK_H_
+#define VSCALE_SRC_HYPERVISOR_TOOLSTACK_H_
+
+#include "src/base/cost_model.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/base/time.h"
+
+namespace vscale {
+
+enum class Dom0Load {
+  kIdle,     // no background I/O in dom0
+  kDiskIo,   // one VM doing dd-style disk I/O through the block backend
+  kNetIo,    // one VM doing netperf-style streaming through the net backend
+};
+
+class Dom0Toolstack {
+ public:
+  Dom0Toolstack(const CostModel& cost, Rng rng) : cost_(cost), rng_(rng) {}
+
+  // Latency of one libxl pass that reads the CPU consumption of all `n_vms` VMs under
+  // the given dom0 background load. Samples queueing noise per VM read.
+  TimeNs SampleMonitorAllVms(int n_vms, Dom0Load load);
+
+  // Convenience: distribution of `iterations` passes.
+  RunningStat MeasureMonitorCost(int n_vms, Dom0Load load, int iterations);
+
+ private:
+  TimeNs SamplePerVmRead(Dom0Load load);
+
+  const CostModel& cost_;
+  Rng rng_;
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_HYPERVISOR_TOOLSTACK_H_

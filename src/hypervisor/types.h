@@ -1,0 +1,56 @@
+// Shared identifiers and enums for the hypervisor layer.
+
+#ifndef VSCALE_SRC_HYPERVISOR_TYPES_H_
+#define VSCALE_SRC_HYPERVISOR_TYPES_H_
+
+#include <cstdint>
+
+namespace vscale {
+
+using DomainId = int;
+using VcpuId = int;   // domain-local vCPU index
+using PcpuId = int;
+using EvtchnPort = int;
+
+// Hypervisor-visible vCPU run state. A guest-frozen vCPU is simply kBlocked with
+// Vcpu::frozen set: Xen never tears vCPUs down (paper section 6).
+enum class VcpuState {
+  kRunning,   // currently occupying a pCPU
+  kRunnable,  // waiting in a pCPU run queue (this is the "scheduling delay" state)
+  kBlocked,   // voluntarily blocked (guest idle / SCHEDOP_block / pv-lock yield)
+};
+
+// Xen credit1 priorities, ordered best-first.
+enum class CreditPriority : int {
+  kBoost = 0,  // woken from block by an event; may preempt
+  kUnder = 1,  // positive credit balance
+  kOver = 2,   // exhausted credits; runs only work-conservingly
+};
+
+inline const char* ToString(VcpuState s) {
+  switch (s) {
+    case VcpuState::kRunning:
+      return "running";
+    case VcpuState::kRunnable:
+      return "runnable";
+    case VcpuState::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+inline const char* ToString(CreditPriority p) {
+  switch (p) {
+    case CreditPriority::kBoost:
+      return "BOOST";
+    case CreditPriority::kUnder:
+      return "UNDER";
+    case CreditPriority::kOver:
+      return "OVER";
+  }
+  return "?";
+}
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_HYPERVISOR_TYPES_H_

@@ -1,0 +1,12 @@
+#include "src/hypervisor/vscale_channel.h"
+
+namespace vscale {
+
+VscaleChannel::ReadResult VscaleChannel::Read() {
+  const TimeNs cost = cost_.channel_syscall + cost_.channel_hypercall;
+  ++reads_;
+  total_cost_ += cost;
+  return ReadResult{hv_.ReadExtendability(dom_), cost};
+}
+
+}  // namespace vscale

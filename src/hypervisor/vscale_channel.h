@@ -1,0 +1,53 @@
+// The vScale channel: a per-VM mailbox between the hypervisor scheduler and the guest
+// (paper sections 3, 4.1, Table 1).
+//
+// The data itself lives in Domain (extendability_nvcpus / extendability_ns), written by
+// the vScale ticker and read through HvServices::ReadExtendability. This class models
+// the *cost* of the read path — sys_getvscaleinfo (a system call) followed by
+// SCHEDOP_getvscaleinfo (a hypercall) — and keeps the operation-count statistics the
+// Table 1 bench reports. It bypasses dom0 entirely, unlike the libxl toolstack path.
+
+#ifndef VSCALE_SRC_HYPERVISOR_VSCALE_CHANNEL_H_
+#define VSCALE_SRC_HYPERVISOR_VSCALE_CHANNEL_H_
+
+#include <cstdint>
+
+#include "src/base/cost_model.h"
+#include "src/base/time.h"
+#include "src/hypervisor/hv_services.h"
+#include "src/hypervisor/types.h"
+
+namespace vscale {
+
+class VscaleChannel {
+ public:
+  VscaleChannel(HvServices& hv, const CostModel& cost, DomainId dom)
+      : hv_(hv), cost_(cost), dom_(dom) {}
+
+  struct ReadResult {
+    int extendability_nvcpus;
+    TimeNs cost;  // syscall + hypercall
+  };
+
+  // Reads the domain's extendability. The returned cost must be charged to the calling
+  // thread by the guest (the daemon does this).
+  ReadResult Read();
+
+  // Cost breakdown used by the Table 1 bench.
+  TimeNs syscall_cost() const { return cost_.channel_syscall; }
+  TimeNs hypercall_cost() const { return cost_.channel_hypercall; }
+
+  int64_t reads() const { return reads_; }
+  TimeNs total_cost() const { return total_cost_; }
+
+ private:
+  HvServices& hv_;
+  const CostModel& cost_;
+  DomainId dom_;
+  int64_t reads_ = 0;
+  TimeNs total_cost_ = 0;
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_HYPERVISOR_VSCALE_CHANNEL_H_

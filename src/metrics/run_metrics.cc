@@ -1,0 +1,56 @@
+#include "src/metrics/run_metrics.h"
+
+namespace vscale {
+
+GuestCounters GuestCounters::operator-(const GuestCounters& other) const {
+  GuestCounters d;
+  d.timer_ints = timer_ints - other.timer_ints;
+  d.resched_ipis = resched_ipis - other.resched_ipis;
+  d.io_irqs = io_irqs - other.io_irqs;
+  d.domain_wait = domain_wait - other.domain_wait;
+  d.domain_runtime = domain_runtime - other.domain_runtime;
+  return d;
+}
+
+GuestCounters SnapshotCounters(const GuestKernel& kernel) {
+  GuestCounters c;
+  auto& k = const_cast<GuestKernel&>(kernel);
+  for (int i = 0; i < k.n_cpus(); ++i) {
+    const GuestCpuStats& s = k.cpu(i).stats;
+    c.timer_ints += s.timer_ints;
+    c.resched_ipis += s.resched_ipis;
+    c.io_irqs += s.io_irqs;
+  }
+  c.domain_wait = k.domain().TotalWait();
+  c.domain_runtime = k.domain().TotalRuntime();
+  return c;
+}
+
+double PerVcpuPerSecond(int64_t count, int vcpus, TimeNs window) {
+  if (vcpus <= 0 || window <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count) / static_cast<double>(vcpus) / ToSeconds(window);
+}
+
+std::vector<NormalizedRow> NormalizeToBaseline(const std::vector<AppRunResult>& runs,
+                                               const std::string& baseline_policy) {
+  std::vector<NormalizedRow> rows;
+  for (const auto& r : runs) {
+    TimeNs base = 0;
+    for (const auto& b : runs) {
+      if (b.app == r.app && b.policy == baseline_policy) {
+        base = b.duration;
+        break;
+      }
+    }
+    if (base <= 0) {
+      continue;
+    }
+    rows.push_back({r.app, r.policy,
+                    static_cast<double>(r.duration) / static_cast<double>(base)});
+  }
+  return rows;
+}
+
+}  // namespace vscale

@@ -1,0 +1,55 @@
+// Metric extraction and reporting for experiment runs: per-domain scheduling-delay
+// accounting (Fig. 9), per-vCPU interrupt/IPI rates (Table 2, Figs. 10 & 13), and
+// normalized-execution-time series (Figs. 6, 7, 11, 12).
+
+#ifndef VSCALE_SRC_METRICS_RUN_METRICS_H_
+#define VSCALE_SRC_METRICS_RUN_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/guest/kernel.h"
+#include "src/hypervisor/machine.h"
+
+namespace vscale {
+
+// Snapshot of a guest's cumulative counters; subtract two snapshots to window a
+// measurement to an app's run.
+struct GuestCounters {
+  int64_t timer_ints = 0;
+  int64_t resched_ipis = 0;
+  int64_t io_irqs = 0;
+  TimeNs domain_wait = 0;
+  TimeNs domain_runtime = 0;
+
+  GuestCounters operator-(const GuestCounters& other) const;
+};
+
+GuestCounters SnapshotCounters(const GuestKernel& kernel);
+
+// Per-vCPU per-second rate over a window (paper plots "vIPIs / sec / vCPU").
+double PerVcpuPerSecond(int64_t count, int vcpus, TimeNs window);
+
+// One (policy, app) measurement used by the normalized-execution-time figures.
+struct AppRunResult {
+  std::string app;
+  std::string policy;
+  TimeNs duration = 0;
+  TimeNs domain_wait = 0;
+  double ipis_per_vcpu_sec = 0.0;
+};
+
+// Normalizes durations against the named baseline policy, app by app.
+// Returns rows (app, policy, normalized_time); apps missing a baseline are skipped.
+struct NormalizedRow {
+  std::string app;
+  std::string policy;
+  double normalized = 0.0;
+};
+std::vector<NormalizedRow> NormalizeToBaseline(const std::vector<AppRunResult>& runs,
+                                               const std::string& baseline_policy);
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_METRICS_RUN_METRICS_H_

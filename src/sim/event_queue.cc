@@ -1,0 +1,129 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+
+namespace vscale {
+
+Simulator::EventId Simulator::ScheduleAt(TimeNs when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  if (when < now_) {
+    when = now_;
+  }
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id == kInvalidEvent) {
+    return;
+  }
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return;  // already fired or cancelled
+  }
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool Simulator::PopNext(Entry& out) {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(top.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    out = top;
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::Step() {
+  Entry entry;
+  if (!PopNext(entry)) {
+    return false;
+  }
+  now_ = entry.when;
+  auto it = callbacks_.find(entry.id);
+  assert(it != callbacks_.end());
+  std::function<void()> fn = std::move(it->second);
+  callbacks_.erase(it);
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+void Simulator::RunUntil(TimeNs deadline) {
+  while (true) {
+    // Peek: find next live entry without consuming it.
+    while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (deadline > now_) {
+    now_ = deadline;
+  }
+}
+
+void Simulator::RunUntilIdle(uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (!Step()) {
+      return;
+    }
+  }
+}
+
+bool Simulator::RunUntilCondition(const std::function<bool()>& stop, TimeNs deadline) {
+  while (true) {
+    if (stop()) {
+      return true;
+    }
+    while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > deadline) {
+      if (deadline > now_) {
+        now_ = deadline;
+      }
+      return stop();
+    }
+    Step();
+  }
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, TimeNs period, std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Start(TimeNs phase) {
+  Stop();
+  running_ = true;
+  const TimeNs delay = phase >= 0 ? phase : period_;
+  pending_ = sim_.ScheduleAfter(delay, [this] { Fire(); });
+}
+
+void PeriodicTask::Stop() {
+  if (pending_ != Simulator::kInvalidEvent) {
+    sim_.Cancel(pending_);
+    pending_ = Simulator::kInvalidEvent;
+  }
+  running_ = false;
+}
+
+void PeriodicTask::Fire() {
+  pending_ = sim_.ScheduleAfter(period_, [this] { Fire(); });
+  fn_();
+}
+
+}  // namespace vscale

@@ -1,0 +1,46 @@
+#include "src/vscale/balancer.h"
+
+#include <algorithm>
+
+namespace vscale {
+
+TimeNs VscaleBalancer::ApplyTarget(int target) {
+  target = std::clamp(target, 1, kernel_.n_cpus());
+  TimeNs cost = 0;
+  int active = kernel_.online_cpus();
+  // Shrink: freeze the highest-id active vCPU first (vCPU0 stays).
+  while (active > target) {
+    int victim = -1;
+    for (int i = kernel_.n_cpus() - 1; i >= 1; --i) {
+      if (!kernel_.IsFrozen(i)) {
+        victim = i;
+        break;
+      }
+    }
+    if (victim < 0) {
+      break;
+    }
+    cost += kernel_.FreezeCpu(victim);
+    ++freezes_;
+    --active;
+  }
+  // Grow: unfreeze the lowest-id frozen vCPU first.
+  while (active < target) {
+    int candidate = -1;
+    for (int i = 1; i < kernel_.n_cpus(); ++i) {
+      if (kernel_.IsFrozen(i)) {
+        candidate = i;
+        break;
+      }
+    }
+    if (candidate < 0) {
+      break;
+    }
+    cost += kernel_.UnfreezeCpu(candidate);
+    ++unfreezes_;
+    ++active;
+  }
+  return cost;
+}
+
+}  // namespace vscale

@@ -1,0 +1,37 @@
+// The guest-side vScale balancer: decides WHICH vCPUs to (un)freeze to reach the
+// target active count and drives the kernel's freeze mechanism (Algorithm 2). The
+// mechanism (cpu_freeze_mask, evacuation, IRQ migration) lives in GuestKernel; this is
+// the policy layer the daemon instructs.
+
+#ifndef VSCALE_SRC_VSCALE_BALANCER_H_
+#define VSCALE_SRC_VSCALE_BALANCER_H_
+
+#include <cstdint>
+
+#include "src/base/time.h"
+#include "src/guest/kernel.h"
+
+namespace vscale {
+
+class VscaleBalancer {
+ public:
+  explicit VscaleBalancer(GuestKernel& kernel) : kernel_(kernel) {}
+
+  // Freezes/unfreezes vCPUs until exactly `target` are active. vCPU0 (the master) is
+  // never frozen; shrink freezes the highest-id active vCPU first, growth unfreezes
+  // the lowest-id frozen one. Returns the master-side cost to charge to the caller.
+  TimeNs ApplyTarget(int target);
+
+  int active_vcpus() const { return kernel_.online_cpus(); }
+  int64_t freezes() const { return freezes_; }
+  int64_t unfreezes() const { return unfreezes_; }
+
+ private:
+  GuestKernel& kernel_;
+  int64_t freezes_ = 0;
+  int64_t unfreezes_ = 0;
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_VSCALE_BALANCER_H_

@@ -1,0 +1,106 @@
+#include "src/vscale/daemon.h"
+
+#include <algorithm>
+
+namespace vscale {
+
+VscaleDaemon::VscaleDaemon(GuestKernel& kernel, HvServices& hv, DaemonConfig config)
+    : kernel_(kernel),
+      config_(config),
+      channel_(hv, kernel.cost(), kernel.domain().id()),
+      balancer_(kernel) {}
+
+GuestThread& VscaleDaemon::Start() {
+  GuestThread& t = kernel_.Spawn("vscaled", this, ThreadType::kUthread,
+                                 /*pinned_cpu=*/0);
+  t.rt = true;
+  return t;
+}
+
+Op VscaleDaemon::Next(GuestKernel& kernel, GuestThread& thread) {
+  (void)thread;
+  switch (phase_) {
+    case Phase::kRead: {
+      // sys_getvscaleinfo + SCHEDOP_getvscaleinfo: fetch extendability, charge cost.
+      const VscaleChannel::ReadResult r = channel_.Read();
+      int target = r.extendability_nvcpus;
+      if (target <= 0) {
+        target = kernel.online_cpus();  // ticker has not run yet
+      }
+      if (config_.useful_obtainment_guard) {
+        DemandSample s;
+        s.time = kernel.NowNs();
+        kernel.TotalThreadTimes(&s.cpu, &s.spin, &s.wait);
+        if (sample_count_ >= 1) {
+          // Diff against the oldest retained sample: an up-to-6-poll trailing window
+          // smooths barrier-cadence oscillation in the spin signal.
+          const int oldest =
+              (sample_head_ + kDemandWindow - sample_count_) % kDemandWindow;
+          const DemandSample& old = samples_[oldest];
+          const TimeNs cpu_delta = s.cpu - old.cpu;
+          const TimeNs spin_delta = s.spin - old.spin;
+          const double spin_frac =
+              cpu_delta > 0 ? static_cast<double>(spin_delta) /
+                                  static_cast<double>(cpu_delta)
+                            : 0.0;
+          if (spin_frac < 0.65) {
+            // Mostly-useful cycles (or an idle VM, whose blocked vCPUs compete for
+            // nothing anyway): packing would trade real progress for nothing, since
+            // wakeup boosting already protects blocking workloads from scheduling
+            // delays. Only spin-wasting workloads shrink below their current size.
+            target = std::max(target, kernel.online_cpus());
+          }
+        }
+        samples_[sample_head_] = s;
+        sample_head_ = (sample_head_ + 1) % kDemandWindow;
+        if (sample_count_ < kDemandWindow) {
+          ++sample_count_;
+        }
+      }
+      const int active = kernel.online_cpus();
+      int to_apply = active;
+      if (target != active) {
+        if (target == pending_target_) {
+          ++votes_;
+        } else {
+          pending_target_ = target;
+          votes_ = 1;
+        }
+        const int needed = target < active ? config_.shrink_confirmations
+                                           : config_.grow_confirmations;
+        if (votes_ >= needed) {
+          to_apply = target;
+          votes_ = 0;
+          pending_target_ = -1;
+        }
+      } else {
+        votes_ = 0;
+        pending_target_ = -1;
+      }
+      last_target_ = target;
+      if (to_apply != active) {
+        pending_apply_cost_ = balancer_.ApplyTarget(to_apply);
+        phase_ = Phase::kApply;
+      } else {
+        phase_ = Phase::kSleep;
+      }
+      if (on_cycle) {
+        on_cycle(kernel.NowNs(), kernel.online_cpus());
+      }
+      return Op::Compute(r.cost);
+    }
+    case Phase::kApply: {
+      // Master-side freeze/unfreeze work (Table 3) executes in our context.
+      const TimeNs cost = pending_apply_cost_;
+      pending_apply_cost_ = 0;
+      phase_ = Phase::kSleep;
+      return Op::Compute(cost);
+    }
+    case Phase::kSleep:
+      phase_ = Phase::kRead;
+      return Op::Sleep(config_.poll_period);
+  }
+  return Op::Exit();
+}
+
+}  // namespace vscale

@@ -1,0 +1,84 @@
+// The vScale user-space daemon: an RT-class thread pinned to vCPU0 that polls the
+// vScale channel every period and instructs the balancer to (un)freeze vCPUs so the
+// active count tracks the VM's CPU extendability (paper sections 3 & 4.1).
+//
+// Implemented as a ThreadBody so the daemon's own CPU consumption (channel reads,
+// freeze hypercalls, IPIs) is charged inside the simulated guest like any other work.
+
+#ifndef VSCALE_SRC_VSCALE_DAEMON_H_
+#define VSCALE_SRC_VSCALE_DAEMON_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/guest/kernel.h"
+#include "src/guest/thread.h"
+#include "src/hypervisor/vscale_channel.h"
+#include "src/vscale/balancer.h"
+
+namespace vscale {
+
+struct DaemonConfig {
+  TimeNs poll_period = Milliseconds(10);
+  // Confirmation counts before acting on a change (1 = act immediately). Both
+  // directions filter 10 ms-scale noise in the extendability signal; shrinking waits a
+  // little longer because packing threads onto fewer vCPUs costs parallel workloads
+  // real throughput, while a short over-provisioned window merely queues one vCPU.
+  int shrink_confirmations = 5;
+  int grow_confirmations = 2;
+  // Never shrink below the parallelism the VM is currently obtaining with *useful*
+  // (non-busy-wait) cycles. The extendability channel reports the weight-fair view;
+  // a blocking workload often obtains more than that through wakeup boosting, and
+  // packing it onto fewer vCPUs would trade real progress for nothing. Spinning
+  // workloads are unaffected: their obtainment is mostly waste, which this guard
+  // deliberately ignores. The guest computes this from its own thread accounting —
+  // no new hypervisor channel is needed.
+  bool useful_obtainment_guard = true;
+};
+
+class VscaleDaemon : public ThreadBody {
+ public:
+  VscaleDaemon(GuestKernel& kernel, HvServices& hv, DaemonConfig config);
+
+  // Spawns the daemon thread (RT class, pinned to vCPU0). Call once after guest setup.
+  GuestThread& Start();
+
+  Op Next(GuestKernel& kernel, GuestThread& thread) override;
+
+  const VscaleBalancer& balancer() const { return balancer_; }
+  const VscaleChannel& channel() const { return channel_; }
+  int last_target() const { return last_target_; }
+
+  // Trace hook for Figure 8: (time, active vCPUs after this cycle).
+  std::function<void(TimeNs, int)> on_cycle;
+
+ private:
+  GuestKernel& kernel_;
+  DaemonConfig config_;
+  VscaleChannel channel_;
+  VscaleBalancer balancer_;
+
+  enum class Phase { kRead, kApply, kSleep };
+  Phase phase_ = Phase::kRead;
+  int last_target_ = 0;
+  int pending_target_ = -1;
+  int votes_ = 0;
+  TimeNs pending_apply_cost_ = 0;
+  // Trailing samples of (time, cpu, spin, wait) so the obtainment guard averages
+  // over ~6 poll periods instead of flapping at barrier cadence.
+  struct DemandSample {
+    TimeNs time = 0;
+    TimeNs cpu = 0;
+    TimeNs spin = 0;
+    TimeNs wait = 0;
+  };
+  static constexpr int kDemandWindow = 6;
+  DemandSample samples_[kDemandWindow];
+  int sample_head_ = 0;
+  int sample_count_ = 0;
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_VSCALE_DAEMON_H_

@@ -1,0 +1,100 @@
+#include "src/vscale/extendability.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vscale {
+namespace {
+
+int RoundVcpus(TimeNs ext_ns, TimeNs period, VcpuRounding rounding) {
+  const double ratio = static_cast<double>(ext_ns) / static_cast<double>(period);
+  switch (rounding) {
+    case VcpuRounding::kCeil:
+      return static_cast<int>(std::ceil(ratio));
+    case VcpuRounding::kFloor:
+      return static_cast<int>(std::floor(ratio));
+    case VcpuRounding::kNearest:
+      return static_cast<int>(std::lround(ratio));
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::vector<VmExtendability> ComputeExtendability(
+    const std::vector<VmShareInput>& vms, int pool_pcpus, TimeNs period,
+    const ExtendabilityOptions& options) {
+  std::vector<VmExtendability> out(vms.size());
+  if (vms.empty() || period <= 0 || pool_pcpus <= 0) {
+    return out;
+  }
+
+  int64_t total_weight = 0;
+  for (const auto& vm : vms) {
+    total_weight += vm.weight;
+  }
+
+  const double capacity =
+      static_cast<double>(period) * static_cast<double>(pool_pcpus);
+
+  // Pass 1: fair shares, slack accumulation, competitor set S (Alg. 1 lines 4-15).
+  TimeNs cslack = 0;
+  int64_t competitor_weight = 0;
+  for (size_t i = 0; i < vms.size(); ++i) {
+    const auto& vm = vms[i];
+    const TimeNs fair =
+        total_weight > 0
+            ? static_cast<TimeNs>(capacity * static_cast<double>(vm.weight) /
+                                  static_cast<double>(total_weight))
+            : 0;
+    out[i].fair_ns = fair;
+    const TimeNs demand =
+        options.demand_based ? vm.consumed + vm.waited : vm.consumed;
+    const TimeNs release_threshold =
+        static_cast<TimeNs>(static_cast<double>(fair) * options.releaser_margin);
+    if (demand < release_threshold) {
+      // Releaser: contributes slack but keeps its full fair share as extendability so
+      // it can always exploit its deserved parallelism when demand ramps up (line 10).
+      cslack += fair - demand;
+      out[i].ext_ns = fair;
+      out[i].competitor = false;
+    } else {
+      out[i].competitor = true;
+      competitor_weight += vm.weight;
+    }
+  }
+
+  // Pass 2: competitors share the slack proportionally (lines 16-19).
+  for (size_t i = 0; i < vms.size(); ++i) {
+    const auto& vm = vms[i];
+    if (out[i].competitor) {
+      const TimeNs bonus =
+          competitor_weight > 0
+              ? static_cast<TimeNs>(static_cast<double>(cslack) *
+                                    static_cast<double>(vm.weight) /
+                                    static_cast<double>(competitor_weight))
+              : 0;
+      out[i].ext_ns = out[i].fair_ns + bonus;
+    }
+    // Cap and reservation clamp the extendability (paper section 3.2).
+    if (vm.cap_pcpus > 0.0) {
+      const TimeNs cap_ns =
+          static_cast<TimeNs>(vm.cap_pcpus * static_cast<double>(period));
+      out[i].ext_ns = std::min(out[i].ext_ns, cap_ns);
+    }
+    if (vm.reservation_pcpus > 0.0) {
+      const TimeNs res_ns =
+          static_cast<TimeNs>(vm.reservation_pcpus * static_cast<double>(period));
+      out[i].ext_ns = std::max(out[i].ext_ns, res_ns);
+    }
+    // A VM can never obtain more than the whole pool.
+    out[i].ext_ns = std::min(out[i].ext_ns, static_cast<TimeNs>(capacity));
+
+    int n = RoundVcpus(out[i].ext_ns, period, options.rounding);
+    n = std::clamp(n, 1, std::max(1, vm.max_vcpus));
+    out[i].optimal_vcpus = n;
+  }
+  return out;
+}
+
+}  // namespace vscale

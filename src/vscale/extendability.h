@@ -1,0 +1,59 @@
+// Algorithm 1 of the paper: computing every VM's CPU extendability from its
+// proportional share and recent consumption, under work-conserving max-min fairness.
+//
+// Kept as a pure function over plain inputs so it can be unit- and property-tested in
+// isolation and reused by any proportional-share scheduler (the paper's "generality"
+// design principle).
+
+#ifndef VSCALE_SRC_VSCALE_EXTENDABILITY_H_
+#define VSCALE_SRC_VSCALE_EXTENDABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace vscale {
+
+struct VmShareInput {
+  int64_t weight = 0;
+  TimeNs consumed = 0;          // CPU consumed in the last period
+  TimeNs waited = 0;            // runnable-but-not-running time (unmet demand)
+  int max_vcpus = 1;            // the VM's configured vCPU count
+  double cap_pcpus = 0.0;       // 0 = uncapped
+  double reservation_pcpus = 0.0;
+};
+
+struct VmExtendability {
+  TimeNs ext_ns = 0;        // s_ext(t): maximum CPU obtainable next period
+  int optimal_vcpus = 1;    // n_i = ceil(s_ext / t), clamped to [1, max_vcpus]
+  bool competitor = false;  // over-consumed its fair share (joined set S)
+  TimeNs fair_ns = 0;       // s_fair(t), for diagnostics
+};
+
+enum class VcpuRounding { kCeil, kFloor, kNearest };  // line 11/18 ablation knob
+
+struct ExtendabilityOptions {
+  VcpuRounding rounding = VcpuRounding::kCeil;
+  // Count runnable-wait time as demand (VmShareInput::waited). The paper classifies
+  // VMs purely by consumption; under contention a VM that *couldn't* obtain its fair
+  // share would then be misread as a releaser and its shortfall handed out as slack.
+  bool demand_based = false;
+  // A VM whose demand reaches this fraction of its fair share is classified as a
+  // competitor. The paper uses a strict `demand < fair` test (margin 1.0), which
+  // ratchets scaled-down VMs: a VM packed onto ceil(fair) vCPUs can never consume
+  // more than its fair share, so it would stay a releaser — and a releaser's
+  // extendability is pinned at fair — even on an otherwise idle pool. A margin
+  // slightly below 1 lets a saturated-but-packed VM see the slack and grow back.
+  double releaser_margin = 1.0;
+};
+
+// `period` is the recalculation period t; `pool_pcpus` is P. Returns one entry per VM,
+// in input order. Total weight of zero yields fair shares of zero (all releasers).
+std::vector<VmExtendability> ComputeExtendability(
+    const std::vector<VmShareInput>& vms, int pool_pcpus, TimeNs period,
+    const ExtendabilityOptions& options = {});
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_VSCALE_EXTENDABILITY_H_

@@ -1,0 +1,276 @@
+#include "src/workloads/pthread_app.h"
+
+#include <cassert>
+
+#include "src/base/cost_model.h"
+
+namespace vscale {
+
+std::vector<PthreadAppConfig> ParsecSuite(int threads) {
+  static const char* const kNames[] = {
+      "blackscholes", "bodytrack", "canneal",       "dedup",     "facesim",
+      "ferret",       "fluidanimate", "freqmine",   "raytrace",  "streamcluster",
+      "swaptions",    "vips",      "x264"};
+  std::vector<PthreadAppConfig> suite;
+  suite.reserve(13);
+  for (const char* name : kNames) {
+    suite.push_back(ParsecProfile(name, threads));
+  }
+  return suite;
+}
+
+PthreadAppConfig ParsecProfile(const std::string& name, int threads) {
+  PthreadAppConfig c;
+  c.name = name;
+  c.threads = threads;
+  // Calibration notes: per-vCPU IPI rate scales with contended-mutex handoffs and
+  // stage-barrier broadcasts. dedup is the outlier (mm-semaphore pressure, paper
+  // section 5.2.3); swaptions has no synchronization primitive at all.
+  if (name == "blackscholes") {
+    c.intervals = 18;
+    c.grain_mean = Milliseconds(250);
+    c.imbalance = 0.05;
+    c.stage_every = 1;  // coarse per-round barrier, well-partitioned data
+  } else if (name == "bodytrack") {
+    c.intervals = 2600;
+    c.grain_mean = MicrosecondsF(1700);
+    c.imbalance = 0.25;
+    c.cs_fraction = 0.06;
+    c.stage_every = 4;
+  } else if (name == "canneal") {
+    c.intervals = 2000;
+    c.grain_mean = MicrosecondsF(2200);
+    c.imbalance = 0.12;
+    c.cs_fraction = 0.03;
+  } else if (name == "dedup") {
+    // Pipeline stages hammer the shared address space: fine grain, contended mutex
+    // plus kernel work under the mm lock -> ~940 reschedule IPIs/s/vCPU in the paper.
+    c.intervals = 11000;
+    c.grain_mean = MicrosecondsF(400);
+    c.imbalance = 0.30;
+    c.cs_fraction = 0.30;
+    c.mm_section = Microseconds(4);
+  } else if (name == "facesim") {
+    c.intervals = 2200;
+    c.grain_mean = MicrosecondsF(2000);
+    c.imbalance = 0.20;
+    c.cs_fraction = 0.05;
+    c.stage_every = 8;
+  } else if (name == "ferret") {
+    c.intervals = 1500;
+    c.grain_mean = Milliseconds(3);
+    c.imbalance = 0.10;
+    c.cs_fraction = 0.02;
+  } else if (name == "fluidanimate") {
+    c.intervals = 2800;
+    c.grain_mean = MicrosecondsF(1500);
+    c.imbalance = 0.18;
+    c.cs_fraction = 0.08;
+    c.stage_every = 6;
+  } else if (name == "freqmine") {
+    // Written in OpenMP: spin-then-futex barriers with the default 300K spin count.
+    c.intervals = 900;
+    c.grain_mean = Milliseconds(5);
+    c.imbalance = 0.10;
+    c.uses_openmp = true;
+  } else if (name == "raytrace") {
+    c.intervals = 130;
+    c.grain_mean = Milliseconds(35);
+    c.imbalance = 0.06;
+    c.stage_every = 16;
+  } else if (name == "streamcluster") {
+    // Custom barrier built on mutex + condvar between every stage (paper 5.2.3).
+    c.intervals = 3600;
+    c.grain_mean = MicrosecondsF(1200);
+    c.imbalance = 0.15;
+    c.stage_every = 1;
+  } else if (name == "swaptions") {
+    c.intervals = 10;
+    c.grain_mean = Milliseconds(450);
+    c.imbalance = 0.04;
+  } else if (name == "vips") {
+    c.intervals = 3200;
+    c.grain_mean = MicrosecondsF(1400);
+    c.imbalance = 0.22;
+    c.cs_fraction = 0.06;
+    c.stage_every = 8;
+  } else if (name == "x264") {
+    c.intervals = 2400;
+    c.grain_mean = MicrosecondsF(1800);
+    c.imbalance = 0.25;
+    c.cs_fraction = 0.04;
+    c.stage_every = 12;
+  } else {
+    assert(false && "unknown PARSEC app");
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+
+class PthreadApp::Worker : public ThreadBody {
+ public:
+  Worker(PthreadApp& app, int index, Rng rng) : app_(app), index_(index), rng_(rng) {}
+
+  Op Next(GuestKernel& kernel, GuestThread& thread) override {
+    PthreadApp& a = app_;
+    const PthreadAppConfig& cfg = a.config_;
+    switch (phase_) {
+      case Phase::kCompute: {
+        const double skew = rng_.UniformReal(-cfg.imbalance, cfg.imbalance);
+        TimeNs grain = static_cast<TimeNs>(static_cast<double>(cfg.grain_mean) *
+                                           (1.0 + skew));
+        if (grain < Microseconds(1)) {
+          grain = Microseconds(1);
+        }
+        if (cfg.uses_openmp) {
+          phase_ = Phase::kOmpBarrier;
+          return Op::Compute(grain);
+        }
+        const TimeNs cs = static_cast<TimeNs>(static_cast<double>(grain) *
+                                              cfg.cs_fraction);
+        cs_len_ = cs;
+        phase_ = cs > 0 ? Phase::kCsLock : Phase::kMmWork;
+        return Op::Compute(grain - cs);
+      }
+      case Phase::kOmpBarrier:
+        phase_ = Phase::kIntervalEnd;
+        return Op::BarrierWait(a.omp_barrier_);
+      case Phase::kCsLock:
+        phase_ = Phase::kCsWork;
+        return Op::MutexLock(a.mutex_);
+      case Phase::kCsWork:
+        phase_ = Phase::kCsUnlock;
+        return Op::Compute(cs_len_ > 0 ? cs_len_ : Microseconds(1));
+      case Phase::kCsUnlock:
+        phase_ = Phase::kMmWork;
+        return Op::MutexUnlock(a.mutex_);
+      case Phase::kMmWork:
+        phase_ = Phase::kStageLock;
+        if (cfg.mm_section > 0) {
+          return Op::KernelWork(a.mm_lock_, cfg.mm_section);
+        }
+        [[fallthrough]];
+      case Phase::kStageLock:
+        if (cfg.stage_every > 0 && (iter_ + 1) % cfg.stage_every == 0) {
+          phase_ = Phase::kStageDecide;
+          return Op::MutexLock(a.stage_mutex_);
+        }
+        phase_ = Phase::kIntervalEnd;
+        return Next(kernel, thread);
+      case Phase::kStageDecide:
+        // We hold the stage mutex: streamcluster-style barrier over mutex/condvar.
+        if (a.stage_arrived_ + 1 >= cfg.threads) {
+          a.stage_arrived_ = 0;
+          ++a.stage_generation_;
+          phase_ = Phase::kStageUnlock;
+          return Op::CondBroadcast(a.stage_cond_);
+        }
+        ++a.stage_arrived_;
+        my_generation_ = a.stage_generation_;
+        phase_ = Phase::kStageWaitCheck;
+        return Op::CondWait(a.stage_cond_, a.stage_mutex_);
+      case Phase::kStageWaitCheck:
+        // Woken holding the mutex. No spurious wakeups in the model, but keep the
+        // canonical while-loop re-check.
+        if (a.stage_generation_ == my_generation_) {
+          phase_ = Phase::kStageWaitCheck;
+          return Op::CondWait(a.stage_cond_, a.stage_mutex_);
+        }
+        phase_ = Phase::kIntervalEnd;
+        return Op::MutexUnlock(a.stage_mutex_);
+      case Phase::kStageUnlock:
+        phase_ = Phase::kIntervalEnd;
+        return Op::MutexUnlock(a.stage_mutex_);
+      case Phase::kIntervalEnd:
+        ++iter_;
+        if (iter_ >= cfg.intervals) {
+          return Op::Exit();
+        }
+        phase_ = Phase::kCompute;
+        return Next(kernel, thread);
+    }
+    return Op::Exit();
+  }
+
+ private:
+  enum class Phase {
+    kCompute,
+    kOmpBarrier,
+    kCsLock,
+    kCsWork,
+    kCsUnlock,
+    kMmWork,
+    kStageLock,
+    kStageDecide,
+    kStageWaitCheck,
+    kStageUnlock,
+    kIntervalEnd,
+  };
+
+  PthreadApp& app_;
+  int index_;
+  Rng rng_;
+  Phase phase_ = Phase::kCompute;
+  int64_t iter_ = 0;
+  TimeNs cs_len_ = 0;
+  int64_t my_generation_ = 0;
+};
+
+PthreadApp::PthreadApp(GuestKernel& kernel, PthreadAppConfig config, uint64_t seed)
+    : kernel_(kernel), config_(std::move(config)), rng_(seed) {}
+
+PthreadApp::~PthreadApp() = default;
+
+void PthreadApp::Start() {
+  assert(!started_);
+  started_ = true;
+  start_time_ = kernel_.NowNs();
+  if (config_.uses_openmp) {
+    const TimeNs per_check = DefaultCostModel().spin_check_cost;
+    TimeNs budget = 0;
+    if (config_.spin_count > 0) {
+      const double b = static_cast<double>(config_.spin_count) *
+                       static_cast<double>(per_check);
+      budget = b >= 1e15 ? Seconds(1'000'000) : static_cast<TimeNs>(b);
+    }
+    omp_barrier_ = kernel_.CreateBarrier(config_.threads, budget);
+  } else {
+    mutex_ = kernel_.CreateMutex();
+    if (config_.stage_every > 0) {
+      stage_mutex_ = kernel_.CreateMutex();
+      stage_cond_ = kernel_.CreateCond();
+    }
+    if (config_.mm_section > 0) {
+      mm_lock_ = kernel_.CreateKernelLock();
+    }
+  }
+  live_workers_ = config_.threads;
+  auto previous_hook = kernel_.on_thread_exit;
+  kernel_.on_thread_exit = [this, previous_hook](GuestThread& t) {
+    if (previous_hook) {
+      previous_hook(t);
+    }
+    for (const auto& w : worker_threads_) {
+      if (w == &t) {
+        OnWorkerExit();
+        return;
+      }
+    }
+  };
+  for (int i = 0; i < config_.threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i, rng_.Fork(200 + i)));
+    GuestThread& t = kernel_.Spawn(config_.name + "/" + std::to_string(i),
+                                   workers_.back().get());
+    worker_threads_.push_back(&t);
+  }
+}
+
+void PthreadApp::OnWorkerExit() {
+  if (--live_workers_ == 0) {
+    done_ = true;
+    finish_time_ = kernel_.NowNs();
+  }
+}
+
+}  // namespace vscale

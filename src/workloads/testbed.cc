@@ -1,0 +1,109 @@
+#include "src/workloads/testbed.h"
+
+namespace vscale {
+
+const char* ToString(Policy p) {
+  switch (p) {
+    case Policy::kBaseline:
+      return "Xen/Linux";
+    case Policy::kBaselinePvlock:
+      return "Xen/Linux+pvlock";
+    case Policy::kVscale:
+      return "vScale";
+    case Policy::kVscalePvlock:
+      return "vScale+pvlock";
+  }
+  return "?";
+}
+
+bool PolicyUsesVscale(Policy p) {
+  return p == Policy::kVscale || p == Policy::kVscalePvlock;
+}
+
+bool PolicyUsesPvlock(Policy p) {
+  return p == Policy::kBaselinePvlock || p == Policy::kVscalePvlock;
+}
+
+Testbed::Testbed(TestbedConfig config) : config_(config) {
+  if (config_.pool_pcpus <= 0) {
+    config_.pool_pcpus = 12;
+  }
+  if (config_.background_vms == 0) {
+    // Consolidate to an average of 2 vCPUs per pCPU with 2-vCPU desktops.
+    const int target_vcpus = 2 * config_.pool_pcpus;
+    config_.background_vms = std::max(0, (target_vcpus - config_.primary_vcpus) / 2);
+  } else if (config_.background_vms < 0) {
+    config_.background_vms = 0;  // dedicated machine
+  }
+
+  MachineConfig mc;
+  mc.n_pcpus = config_.pool_pcpus;
+  mc.seed = config_.seed;
+  mc.per_domain_weight = true;  // the vScale Xen patch; also fair for the baseline
+  machine_ = std::make_unique<Machine>(mc);
+
+  GuestConfig gc;
+  gc.pv_spinlock = PolicyUsesPvlock(config_.policy);
+
+  Domain& prime = machine_->CreateDomain(
+      "primary", config_.weight_per_vcpu * config_.primary_vcpus,
+      config_.primary_vcpus);
+  primary_kernel_ = std::make_unique<GuestKernel>(*machine_, machine_->sim(), prime, gc);
+
+  Rng seeder(config_.seed ^ 0x5eedULL);
+  if (config_.crunch_mean > 0 && config_.quiet_mean > 0) {
+    phases_ = std::make_unique<LoadPhaseSchedule>(config_.crunch_mean,
+                                                  config_.quiet_mean,
+                                                  seeder.NextU64());
+  }
+  for (int i = 0; i < config_.background_vms; ++i) {
+    Domain& d = machine_->CreateDomain("desktop" + std::to_string(i),
+                                       config_.weight_per_vcpu * 2, 2);
+    background_kernels_.push_back(
+        std::make_unique<GuestKernel>(*machine_, machine_->sim(), d, gc));
+    auto desktop = std::make_unique<SlideshowDesktop>(
+        *background_kernels_.back(), config_.slideshow, seeder.NextU64(),
+        phases_.get());
+    desktop->Start();
+    desktops_.push_back(std::move(desktop));
+  }
+
+  if (PolicyUsesVscale(config_.policy)) {
+    ticker_ = std::make_unique<ExtendabilityTicker>(*machine_);
+    ticker_->Start();
+    daemon_ = std::make_unique<VscaleDaemon>(*primary_kernel_, *machine_,
+                                             config_.daemon);
+    daemon_->Start();
+    if (config_.vscale_in_background) {
+      for (auto& bk : background_kernels_) {
+        auto d = std::make_unique<VscaleDaemon>(*bk, *machine_, config_.daemon);
+        d->Start();
+        background_daemons_.push_back(std::move(d));
+      }
+    }
+  }
+}
+
+Testbed::~Testbed() = default;
+
+bool Testbed::RunUntil(const std::function<bool()>& stop, TimeNs deadline) {
+  return sim().RunUntilCondition(stop, deadline);
+}
+
+int64_t Testbed::PrimaryReschedIpis() const {
+  int64_t total = 0;
+  for (int i = 0; i < primary_kernel_->n_cpus(); ++i) {
+    total += primary_kernel_->cpu(i).stats.resched_ipis;
+  }
+  return total;
+}
+
+int64_t Testbed::PrimaryTimerInts() const {
+  int64_t total = 0;
+  for (int i = 0; i < primary_kernel_->n_cpus(); ++i) {
+    total += primary_kernel_->cpu(i).stats.timer_ints;
+  }
+  return total;
+}
+
+}  // namespace vscale

@@ -1,0 +1,223 @@
+// End-to-end integration tests over the full stack: conservation invariants under
+// the consolidated testbed, the paper's headline behaviours (waiting-time reduction,
+// Table 2 quiescence, Figure 8 adaptation), and determinism.
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/run_metrics.h"
+#include "src/workloads/campaign.h"
+#include "src/workloads/omp_app.h"
+#include "src/workloads/testbed.h"
+
+namespace vscale {
+namespace {
+
+TimeNs TotalMachineRuntime(Machine& m) {
+  TimeNs total = 0;
+  for (int d = 0; d < m.n_domains(); ++d) {
+    total += m.domain(d).TotalRuntime();
+  }
+  return total;
+}
+
+TEST(IntegrationTest, CpuTimeConservedUnderFullTestbed) {
+  for (Policy policy : {Policy::kBaseline, Policy::kVscale}) {
+    TestbedConfig tb;
+    tb.policy = policy;
+    tb.seed = 3;
+    Testbed bed(tb);
+    OmpAppConfig ac = NpbProfile("cg", 4, kSpinCountDefault);
+    ac.intervals = 300;
+    OmpApp app(bed.primary(), ac, 11);
+    app.Start();
+    bed.sim().RunUntil(Seconds(5));
+    const double total = ToSeconds(TotalMachineRuntime(bed.machine()) +
+                                   bed.machine().TotalIdleTime());
+    EXPECT_NEAR(total, 5.0 * bed.machine().n_pcpus(), 0.01)
+        << ToString(policy);
+  }
+}
+
+TEST(IntegrationTest, DeterministicForSameSeed) {
+  auto run = [] {
+    TestbedConfig tb;
+    tb.policy = Policy::kVscale;
+    tb.seed = 1234;
+    Testbed bed(tb);
+    OmpAppConfig ac = NpbProfile("mg", 4, kSpinCountDefault);
+    ac.intervals = 300;
+    OmpApp app(bed.primary(), ac, 99);
+    app.Start();
+    bed.RunUntil([&] { return app.done(); }, Seconds(600));
+    return app.duration();
+  };
+  const TimeNs first = run();
+  const TimeNs second = run();
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(first, second);
+}
+
+TEST(IntegrationTest, VscaleCutsWaitingTimeOnSyncHeavyApp) {
+  auto run = [](Policy policy) {
+    TestbedConfig tb;
+    tb.policy = policy;
+    tb.seed = 42;
+    Testbed bed(tb);
+    OmpAppConfig ac = NpbProfile("lu", 4, kSpinCountActive);
+    OmpApp app(bed.primary(), ac, 7);
+    bed.sim().RunUntil(Milliseconds(200));
+    const GuestCounters before = SnapshotCounters(bed.primary());
+    app.Start();
+    bed.RunUntil([&] { return app.done(); }, Seconds(900));
+    return (SnapshotCounters(bed.primary()) - before).domain_wait;
+  };
+  const TimeNs base_wait = run(Policy::kBaseline);
+  const TimeNs vscale_wait = run(Policy::kVscale);
+  // Paper Figure 9: >90% reduction; require at least 50% in the simulation.
+  EXPECT_LT(static_cast<double>(vscale_wait), 0.5 * static_cast<double>(base_wait));
+}
+
+TEST(IntegrationTest, FrozenVcpuIsQuiescentUnderLoad) {
+  // Table 2 end-to-end: freeze vCPU3 mid-run; its interrupt counters stop.
+  TestbedConfig tb;
+  tb.policy = Policy::kBaseline;
+  tb.background_vms = -1;
+  tb.primary_vcpus = 4;
+  Testbed bed(tb);
+  OmpAppConfig ac = NpbProfile("cg", 4, kSpinCountDefault);
+  ac.intervals = 1'000'000;
+  OmpApp app(bed.primary(), ac, 5);
+  app.Start();
+  bed.sim().RunUntil(Seconds(1));
+  bed.primary().FreezeCpu(3);
+  bed.sim().RunUntil(Seconds(1) + Milliseconds(200));
+  const int64_t ticks = bed.primary().cpu(3).stats.timer_ints;
+  const int64_t ipis = bed.primary().cpu(3).stats.resched_ipis;
+  bed.sim().RunUntil(Seconds(3));
+  EXPECT_EQ(bed.primary().cpu(3).stats.timer_ints, ticks);
+  EXPECT_EQ(bed.primary().cpu(3).stats.resched_ipis, ipis);
+  // The other three continue ticking at 1000 HZ.
+  const int64_t c0 = bed.primary().cpu(0).stats.timer_ints;
+  bed.sim().RunUntil(Seconds(4));
+  EXPECT_NEAR(static_cast<double>(bed.primary().cpu(0).stats.timer_ints - c0),
+              1000.0, 50.0);
+}
+
+TEST(IntegrationTest, ActiveVcpusAdaptToBackgroundPhases) {
+  // Figure 8 end-to-end: under vScale the active count must actually move, hitting
+  // both low (<=3) and full (4) configurations within a 12 s window.
+  TestbedConfig tb;
+  tb.policy = Policy::kVscale;
+  tb.seed = 42;
+  Testbed bed(tb);
+  int min_active = 99;
+  int max_active = 0;
+  bed.daemon()->on_cycle = [&](TimeNs, int active) {
+    min_active = std::min(min_active, active);
+    max_active = std::max(max_active, active);
+  };
+  OmpAppConfig ac = NpbProfile("bt", 4, kSpinCountActive);
+  ac.intervals = 1'000'000;
+  OmpApp app(bed.primary(), ac, 7);
+  bed.sim().RunUntil(Milliseconds(200));
+  app.Start();
+  bed.sim().RunUntil(Seconds(12));
+  EXPECT_LE(min_active, 3);
+  EXPECT_EQ(max_active, 4);
+}
+
+TEST(IntegrationTest, ExtendabilityTracksQuietPhases) {
+  // With no background at all, a greedy 4-vCPU VM must read extendability 4 and
+  // never shrink.
+  TestbedConfig tb;
+  tb.policy = Policy::kVscale;
+  tb.background_vms = -1;
+  Testbed bed(tb);
+  OmpAppConfig ac = NpbProfile("ep", 4, kSpinCountActive);
+  ac.intervals = 1'000'000;
+  OmpApp app(bed.primary(), ac, 7);
+  bed.sim().RunUntil(Milliseconds(200));
+  app.Start();
+  bed.sim().RunUntil(Seconds(5));
+  EXPECT_EQ(bed.primary().online_cpus(), 4);
+  EXPECT_EQ(bed.daemon()->balancer().freezes(), 0);
+}
+
+TEST(IntegrationTest, PvlockReducesKernelSpinWaitUnderConsolidation) {
+  // Two vCPUs on one pCPU with a hot in-kernel lock: the holder's vCPU is routinely
+  // preempted mid-section (LHP). Vanilla ticket locks burn whole slices spinning;
+  // pv-spinlocks yield after their budget.
+  class LockLoop : public ThreadBody {
+   public:
+    explicit LockLoop(int lock) : lock_(lock) {}
+    Op Next(GuestKernel&, GuestThread&) override {
+      phase_ = !phase_;
+      if (phase_) {
+        return Op::KernelWork(lock_, Microseconds(300));
+      }
+      return Op::Compute(Microseconds(100));
+    }
+
+   private:
+    int lock_;
+    bool phase_ = false;
+  };
+
+  auto kernel_spin = [](bool pvlock) {
+    MachineConfig mc;
+    mc.n_pcpus = 1;
+    mc.seed = 77;
+    Machine machine(mc);
+    Domain& d = machine.CreateDomain("vm", 512, 2);
+    GuestConfig gc;
+    gc.pv_spinlock = pvlock;
+    GuestKernel kernel(machine, machine.sim(), d, gc);
+    const int lock = kernel.CreateKernelLock();
+    LockLoop body(lock);
+    kernel.Spawn("a", &body);
+    kernel.Spawn("b", &body);
+    machine.sim().RunUntil(Seconds(2));
+    return kernel.kernel_lock(lock).total_spin_wait;
+  };
+  const TimeNs vanilla = kernel_spin(false);
+  const TimeNs pv = kernel_spin(true);
+  EXPECT_GT(vanilla, Milliseconds(10));  // LHP really bites without pv locks
+  EXPECT_LT(pv * 3, vanilla);
+}
+
+TEST(IntegrationTest, DaemonOverheadIsMicroscopic) {
+  // The paper's headline: monitoring + reconfiguration at microsecond cost. Over a
+  // 10 s vScale run the daemon must consume <0.1% of one vCPU.
+  TestbedConfig tb;
+  tb.policy = Policy::kVscale;
+  tb.seed = 8;
+  Testbed bed(tb);
+  bed.sim().RunUntil(Seconds(10));
+  const GuestThread* daemon_thread = nullptr;
+  for (const auto& t : bed.primary().threads()) {
+    if (t->name() == "vscaled") {
+      daemon_thread = t.get();
+    }
+  }
+  ASSERT_NE(daemon_thread, nullptr);
+  EXPECT_LT(daemon_thread->cpu_time, Milliseconds(10));
+}
+
+TEST(IntegrationTest, EightVcpuVmScalesToo) {
+  TestbedConfig tb;
+  tb.policy = Policy::kVscale;
+  tb.primary_vcpus = 8;
+  tb.seed = 9;
+  Testbed bed(tb);
+  // pool 12: 8 + 2k = 24 -> 8 desktops.
+  EXPECT_EQ(bed.machine().n_domains(), 9);
+  OmpAppConfig ac = NpbProfile("cg", 8, kSpinCountDefault);
+  ac.intervals = 500;
+  OmpApp app(bed.primary(), ac, 31);
+  bed.sim().RunUntil(Milliseconds(200));
+  app.Start();
+  EXPECT_TRUE(bed.RunUntil([&] { return app.done(); }, Seconds(600)));
+}
+
+}  // namespace
+}  // namespace vscale

@@ -1,0 +1,217 @@
+// Unit and property tests for the discrete-event engine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/sim/event_queue.h"
+
+namespace vscale {
+namespace {
+
+TEST(SimulatorTest, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Microseconds(30), [&] { order.push_back(3); });
+  sim.ScheduleAt(Microseconds(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(Microseconds(20), [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Microseconds(30));
+}
+
+TEST(SimulatorTest, TiesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, CancelPreventsFire) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.ScheduleAfter(Microseconds(1), [&] { fired = true; });
+  sim.Cancel(id);
+  sim.RunUntilIdle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelInvalidAndDoubleCancelAreSafe) {
+  Simulator sim;
+  sim.Cancel(Simulator::kInvalidEvent);
+  const auto id = sim.ScheduleAfter(1, [] {});
+  sim.Cancel(id);
+  sim.Cancel(id);
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsSafe) {
+  Simulator sim;
+  const auto id = sim.ScheduleAfter(1, [] {});
+  sim.RunUntilIdle();
+  sim.Cancel(id);  // already fired
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  sim.RunUntil(Milliseconds(5));
+  EXPECT_EQ(sim.Now(), Milliseconds(5));
+}
+
+TEST(SimulatorTest, RunUntilDoesNotFireLaterEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(Milliseconds(10), [&] { fired = true; });
+  sim.RunUntil(Milliseconds(9));
+  EXPECT_FALSE(fired);
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 5) {
+      sim.ScheduleAfter(Microseconds(1), next);
+    }
+  };
+  sim.ScheduleAfter(Microseconds(1), next);
+  sim.RunUntilIdle();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(sim.Now(), Microseconds(5));
+}
+
+TEST(SimulatorTest, RunUntilConditionStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.ScheduleAt(Microseconds(i), [&] { ++count; });
+  }
+  const bool stopped =
+      sim.RunUntilCondition([&] { return count >= 3; }, Seconds(1));
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, RunUntilConditionHonorsDeadline) {
+  Simulator sim;
+  const bool stopped = sim.RunUntilCondition([] { return false; }, Milliseconds(2));
+  EXPECT_FALSE(stopped);
+  EXPECT_EQ(sim.Now(), Milliseconds(2));
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventsProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.ScheduleAfter(i, [] {});
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+// Property: with random schedule/cancel interleavings, fired events are exactly the
+// non-cancelled ones and fire in nondecreasing time order.
+TEST(SimulatorPropertyTest, RandomScheduleCancelConsistency) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Simulator sim;
+    Rng rng(seed);
+    std::vector<Simulator::EventId> ids;
+    std::vector<bool> cancelled;
+    std::vector<int> fired;
+    for (int i = 0; i < 200; ++i) {
+      const TimeNs when = rng.UniformTime(1, Milliseconds(1));
+      const int tag = i;
+      ids.push_back(sim.ScheduleAt(when, [&fired, tag] { fired.push_back(tag); }));
+      cancelled.push_back(false);
+      if (rng.Chance(0.3) && !ids.empty()) {
+        const size_t victim = rng.NextBelow(ids.size());
+        sim.Cancel(ids[victim]);
+        cancelled[victim] = true;
+      }
+    }
+    sim.RunUntilIdle();
+    size_t expected = 0;
+    for (bool c : cancelled) {
+      expected += c ? 0 : 1;
+    }
+    EXPECT_EQ(fired.size(), expected) << "seed " << seed;
+    for (int tag : fired) {
+      EXPECT_FALSE(cancelled[static_cast<size_t>(tag)]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(PeriodicTaskTest, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<TimeNs> fires;
+  PeriodicTask task(sim, Milliseconds(10), [&] { fires.push_back(sim.Now()); });
+  task.Start();
+  sim.RunUntil(Milliseconds(35));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], Milliseconds(10));
+  EXPECT_EQ(fires[1], Milliseconds(20));
+  EXPECT_EQ(fires[2], Milliseconds(30));
+}
+
+TEST(PeriodicTaskTest, PhaseControlsFirstFire) {
+  Simulator sim;
+  std::vector<TimeNs> fires;
+  PeriodicTask task(sim, Milliseconds(10), [&] { fires.push_back(sim.Now()); });
+  task.Start(/*phase=*/Milliseconds(3));
+  sim.RunUntil(Milliseconds(14));
+  ASSERT_EQ(fires.size(), 2u);
+  EXPECT_EQ(fires[0], Milliseconds(3));
+  EXPECT_EQ(fires[1], Milliseconds(13));
+}
+
+TEST(PeriodicTaskTest, StopCancelsFutureFires) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task(sim, Milliseconds(1), [&] { ++fires; });
+  task.Start();
+  sim.RunUntil(Milliseconds(3));
+  task.Stop();
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, DestructorCancels) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTask task(sim, Milliseconds(1), [&] { ++fires; });
+    task.Start();
+    sim.RunUntil(Milliseconds(2));
+  }
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTaskTest, RestartResets) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task(sim, Milliseconds(5), [&] { ++fires; });
+  task.Start();
+  sim.RunUntil(Milliseconds(6));
+  EXPECT_EQ(fires, 1);
+  task.Start();  // restart: next fire 5ms from now
+  sim.RunUntil(Milliseconds(12));
+  EXPECT_EQ(fires, 2);
+}
+
+}  // namespace
+}  // namespace vscale

@@ -1,0 +1,192 @@
+// Randomized stress tests: adversarial interleavings of workloads, freeze/unfreeze
+// storms, hotplug, and policy changes, checked against the invariants that must hold
+// for ANY schedule — CPU-time conservation, no stranded threads, eventual completion,
+// and quiescence of frozen vCPUs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/guest/kernel.h"
+#include "src/hypervisor/machine.h"
+#include "src/metrics/run_metrics.h"
+#include "src/vscale/balancer.h"
+#include "src/workloads/adaptive_app.h"
+#include "src/workloads/omp_app.h"
+#include "src/workloads/pthread_app.h"
+#include "src/workloads/testbed.h"
+
+namespace vscale {
+namespace {
+
+// Random freeze/unfreeze storm against a mixed workload: nothing may be lost.
+class FreezeStormTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FreezeStormTest, MixedWorkloadSurvives) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  MachineConfig mc;
+  mc.n_pcpus = 4;
+  mc.seed = seed;
+  Machine machine(mc);
+  Domain& d = machine.CreateDomain("vm", 1024, 4);
+  GuestConfig gc;
+  gc.pv_spinlock = rng.Chance(0.5);
+  GuestKernel kernel(machine, machine.sim(), d, gc);
+
+  // A barrier app (random wait policy) and a mutex/condvar app share the VM.
+  OmpAppConfig oc = NpbProfile("cg", 4, rng.Chance(0.5) ? kSpinCountDefault : 0);
+  oc.intervals = 150;
+  OmpApp omp(kernel, oc, seed + 1);
+  omp.Start();
+  PthreadAppConfig pc = ParsecProfile("streamcluster", 4);
+  pc.intervals = 150;
+  PthreadApp pthread_app(kernel, pc, seed + 2);
+  pthread_app.Start();
+
+  // Storm: random (un)freezes every few milliseconds while the apps run.
+  VscaleBalancer balancer(kernel);
+  TimeNs next_change = Milliseconds(5);
+  while (!(omp.done() && pthread_app.done())) {
+    const bool progressed = machine.sim().RunUntilCondition(
+        [&] { return omp.done() && pthread_app.done(); }, next_change);
+    if (progressed) {
+      break;
+    }
+    ASSERT_LT(machine.Now(), Seconds(300)) << "stuck with seed " << seed;
+    balancer.ApplyTarget(1 + static_cast<int>(rng.NextBelow(4)));
+    next_change = machine.Now() + rng.UniformTime(Milliseconds(2), Milliseconds(40));
+  }
+  EXPECT_TRUE(omp.done());
+  EXPECT_TRUE(pthread_app.done());
+
+  // Invariant: conservation of CPU time.
+  const double total =
+      ToSeconds(d.TotalRuntime() + machine.TotalIdleTime());
+  EXPECT_NEAR(total, ToSeconds(machine.Now()) * 4, 0.001) << "seed " << seed;
+
+  // Invariant: no thread left runnable-forever or stranded on a frozen vCPU.
+  machine.sim().RunUntil(machine.Now() + Seconds(1));
+  for (const auto& t : kernel.threads()) {
+    if (t->body() == nullptr || t->rt) {
+      continue;
+    }
+    EXPECT_EQ(t->state, ThreadState::kExited) << t->name() << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FreezeStormTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// Full testbed under every policy with random seeds: the campaign path must always
+// terminate and conserve CPU.
+class PolicyMatrixTest
+    : public ::testing::TestWithParam<std::tuple<Policy, uint64_t>> {};
+
+TEST_P(PolicyMatrixTest, TestbedRunsConserveAndComplete) {
+  const auto [policy, seed] = GetParam();
+  TestbedConfig tb;
+  tb.policy = policy;
+  tb.primary_vcpus = 4;
+  tb.seed = seed;
+  Testbed bed(tb);
+  OmpAppConfig ac = NpbProfile("mg", 4, kSpinCountDefault);
+  ac.intervals = 400;
+  OmpApp app(bed.primary(), ac, seed * 7 + 1);
+  bed.sim().RunUntil(Milliseconds(200));
+  app.Start();
+  ASSERT_TRUE(bed.RunUntil([&] { return app.done(); }, Seconds(600)));
+  TimeNs runtime = bed.machine().TotalIdleTime();
+  for (int dm = 0; dm < bed.machine().n_domains(); ++dm) {
+    runtime += bed.machine().domain(dm).TotalRuntime();
+  }
+  EXPECT_NEAR(ToSeconds(runtime),
+              ToSeconds(bed.sim().Now()) * bed.machine().n_pcpus(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyMatrixTest,
+    ::testing::Combine(::testing::Values(Policy::kBaseline, Policy::kBaselinePvlock,
+                                         Policy::kVscale, Policy::kVscalePvlock),
+                       ::testing::Values(11ull, 22ull, 33ull)));
+
+// Frozen vCPUs must stay quiescent through arbitrary load (Table 2's property as an
+// invariant rather than a point measurement).
+TEST(QuiescenceInvariantTest, FrozenVcpusNeverTickNorHandleIpis) {
+  for (uint64_t seed : {4ull, 44ull, 444ull}) {
+    MachineConfig mc;
+    mc.n_pcpus = 4;
+    mc.seed = seed;
+    Machine machine(mc);
+    Domain& d = machine.CreateDomain("vm", 1024, 4);
+    GuestKernel kernel(machine, machine.sim(), d, GuestConfig{});
+    PthreadAppConfig pc = ParsecProfile("dedup", 4);
+    pc.intervals = 500;
+    PthreadApp app(kernel, pc, seed);
+    app.Start();
+    machine.sim().RunUntil(Milliseconds(200));
+    kernel.FreezeCpu(3);
+    machine.sim().RunUntil(Milliseconds(400));  // allow the evacuation to finish
+    const int64_t ticks = kernel.cpu(3).stats.timer_ints;
+    const int64_t ipis = kernel.cpu(3).stats.resched_ipis;
+    machine.sim().RunUntilCondition([&] { return app.done(); }, Seconds(120));
+    EXPECT_EQ(kernel.cpu(3).stats.timer_ints, ticks) << "seed " << seed;
+    EXPECT_EQ(kernel.cpu(3).stats.resched_ipis, ipis) << "seed " << seed;
+  }
+}
+
+// Determinism across the whole stack: identical seeds => identical traces.
+TEST(DeterminismInvariantTest, FullStackBitReproducible) {
+  auto fingerprint = [](uint64_t seed) {
+    TestbedConfig tb;
+    tb.policy = Policy::kVscale;
+    tb.seed = seed;
+    Testbed bed(tb);
+    PthreadAppConfig pc = ParsecProfile("vips", 4);
+    pc.intervals = 300;
+    PthreadApp app(bed.primary(), pc, 5);
+    bed.sim().RunUntil(Milliseconds(200));
+    app.Start();
+    bed.RunUntil([&] { return app.done(); }, Seconds(600));
+    const GuestCounters c = SnapshotCounters(bed.primary());
+    return std::make_tuple(app.duration(), c.resched_ipis, c.timer_ints,
+                           c.domain_wait, bed.machine().context_switches());
+  };
+  EXPECT_EQ(fingerprint(77), fingerprint(77));
+  EXPECT_NE(std::get<0>(fingerprint(77)), std::get<0>(fingerprint(78)));
+}
+
+// Adaptive app under a freeze storm: chunks are conserved (none double-counted or
+// lost) regardless of parking races.
+TEST(AdaptiveStressTest, ChunkAccountingExact) {
+  for (uint64_t seed : {6ull, 66ull}) {
+    MachineConfig mc;
+    mc.n_pcpus = 4;
+    mc.seed = seed;
+    Machine machine(mc);
+    Domain& d = machine.CreateDomain("vm", 1024, 4);
+    GuestKernel kernel(machine, machine.sim(), d, GuestConfig{});
+    AdaptiveAppConfig ac;
+    ac.adaptive = true;
+    ac.chunks = 500;
+    ac.chunk_mean = Milliseconds(1);
+    AdaptiveApp app(kernel, ac, seed);
+    app.Start();
+    VscaleBalancer balancer(kernel);
+    Rng rng(seed);
+    while (!app.done() && machine.Now() < Seconds(120)) {
+      machine.sim().RunUntilCondition([&] { return app.done(); },
+                                      machine.Now() + Milliseconds(20));
+      if (!app.done()) {
+        balancer.ApplyTarget(1 + static_cast<int>(rng.NextBelow(4)));
+      }
+    }
+    ASSERT_TRUE(app.done()) << "seed " << seed;
+    EXPECT_EQ(app.chunks_done(), 500);
+  }
+}
+
+}  // namespace
+}  // namespace vscale

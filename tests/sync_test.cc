@@ -1,0 +1,382 @@
+// Tests for the synchronization layer: GOMP barriers (spin / spin-then-futex /
+// futex-only), pthread mutex + condvar over futex, ad-hoc spin flags, kernel
+// spinlocks with and without pv-spinlock, and LHP emergence.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/guest/kernel.h"
+#include "src/hypervisor/machine.h"
+
+namespace vscale {
+namespace {
+
+class ScriptBody : public ThreadBody {
+ public:
+  explicit ScriptBody(std::vector<Op> ops, bool loop = false)
+      : ops_(std::move(ops)), loop_(loop) {}
+
+  Op Next(GuestKernel&, GuestThread&) override {
+    if (index_ >= ops_.size()) {
+      if (!loop_) {
+        return Op::Exit();
+      }
+      index_ = 0;
+      ++loops_;
+    }
+    return ops_[index_++];
+  }
+
+  int loops() const { return loops_; }
+
+ private:
+  std::vector<Op> ops_;
+  bool loop_;
+  size_t index_ = 0;
+  int loops_ = 0;
+};
+
+struct SyncWorld {
+  explicit SyncWorld(int pcpus, int vcpus, bool pv_spinlock = false,
+                     uint64_t seed = 3) {
+    MachineConfig mc;
+    mc.n_pcpus = pcpus;
+    mc.seed = seed;
+    machine = std::make_unique<Machine>(mc);
+    Domain& d = machine->CreateDomain("vm", 256 * vcpus, vcpus);
+    GuestConfig gc;
+    gc.pv_spinlock = pv_spinlock;
+    kernel = std::make_unique<GuestKernel>(*machine, machine->sim(), d, gc);
+  }
+  ScriptBody& Body(std::vector<Op> ops, bool loop = false) {
+    bodies.push_back(std::make_unique<ScriptBody>(std::move(ops), loop));
+    return *bodies.back();
+  }
+  Simulator& sim() { return machine->sim(); }
+
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<GuestKernel> kernel;
+  std::vector<std::unique_ptr<ScriptBody>> bodies;
+};
+
+// --- barriers ---
+
+TEST(BarrierTest, AllPartiesReleaseTogether) {
+  SyncWorld w(4, 4);
+  const int b = w.kernel->CreateBarrier(4, /*spin_budget_ns=*/Milliseconds(100));
+  int exits = 0;
+  w.kernel->on_thread_exit = [&](GuestThread&) { ++exits; };
+  for (int i = 0; i < 4; ++i) {
+    // Staggered compute so arrivals differ, then the barrier, then exit.
+    w.kernel->Spawn("w" + std::to_string(i),
+                    &w.Body({Op::Compute(Milliseconds(1 + 3 * i)),
+                             Op::BarrierWait(b)}));
+  }
+  w.sim().RunUntil(Milliseconds(50));
+  EXPECT_EQ(exits, 4);
+  EXPECT_EQ(w.kernel->barrier(b).releases, 1);
+}
+
+TEST(BarrierTest, SpinnersBurnCpuWhileWaiting) {
+  SyncWorld w(4, 4);
+  const int b = w.kernel->CreateBarrier(2, /*spin_budget_ns=*/Seconds(100));
+  GuestThread& early = w.kernel->Spawn(
+      "early", &w.Body({Op::Compute(Milliseconds(1)), Op::BarrierWait(b)}));
+  w.kernel->Spawn("late",
+                  &w.Body({Op::Compute(Milliseconds(20)), Op::BarrierWait(b)}));
+  w.sim().RunUntil(Milliseconds(40));
+  // The early arriver spun ~19 ms of CPU (ACTIVE waiting).
+  EXPECT_NEAR(ToMilliseconds(early.spin_time), 19.0, 2.0);
+  EXPECT_EQ(early.state, ThreadState::kExited);
+}
+
+TEST(BarrierTest, PassiveWaitersBlockInsteadOfSpinning) {
+  SyncWorld w(4, 4);
+  const int b = w.kernel->CreateBarrier(2, /*spin_budget_ns=*/0);
+  GuestThread& early = w.kernel->Spawn(
+      "early", &w.Body({Op::Compute(Milliseconds(1)), Op::BarrierWait(b)}));
+  w.kernel->Spawn("late",
+                  &w.Body({Op::Compute(Milliseconds(20)), Op::BarrierWait(b)}));
+  w.sim().RunUntil(Milliseconds(10));
+  EXPECT_EQ(early.state, ThreadState::kBlocked);
+  w.sim().RunUntil(Milliseconds(40));
+  EXPECT_EQ(early.state, ThreadState::kExited);
+  EXPECT_LT(early.spin_time, Milliseconds(1));
+}
+
+TEST(BarrierTest, SpinThenFutexFallsBackAfterBudget) {
+  SyncWorld w(4, 4);
+  const int b = w.kernel->CreateBarrier(2, /*spin_budget_ns=*/Milliseconds(3));
+  GuestThread& early = w.kernel->Spawn(
+      "early", &w.Body({Op::Compute(Milliseconds(1)), Op::BarrierWait(b)}));
+  w.kernel->Spawn("late",
+                  &w.Body({Op::Compute(Milliseconds(30)), Op::BarrierWait(b)}));
+  w.sim().RunUntil(Milliseconds(20));
+  EXPECT_EQ(early.state, ThreadState::kBlocked);  // gave up spinning
+  EXPECT_NEAR(ToMilliseconds(early.spin_time), 3.0, 0.5);
+  w.sim().RunUntil(Milliseconds(60));
+  EXPECT_EQ(early.state, ThreadState::kExited);
+}
+
+TEST(BarrierTest, ReusableAcrossGenerations) {
+  SyncWorld w(2, 2);
+  const int b = w.kernel->CreateBarrier(2, Milliseconds(1));
+  int exits = 0;
+  w.kernel->on_thread_exit = [&](GuestThread&) { ++exits; };
+  for (int i = 0; i < 2; ++i) {
+    std::vector<Op> ops;
+    for (int round = 0; round < 10; ++round) {
+      ops.push_back(Op::Compute(Microseconds(200 + 100 * i)));
+      ops.push_back(Op::BarrierWait(b));
+    }
+    w.kernel->Spawn("w" + std::to_string(i), &w.Body(std::move(ops)));
+  }
+  w.sim().RunUntil(Milliseconds(100));
+  EXPECT_EQ(exits, 2);
+  EXPECT_EQ(w.kernel->barrier(b).releases, 10);
+}
+
+// --- mutex / condvar ---
+
+TEST(MutexTest, UncontendedFastPath) {
+  SyncWorld w(1, 1);
+  const int m = w.kernel->CreateMutex();
+  GuestThread& t = w.kernel->Spawn(
+      "t", &w.Body({Op::MutexLock(m), Op::Compute(Microseconds(10)),
+                    Op::MutexUnlock(m)}));
+  w.sim().RunUntil(Milliseconds(1));
+  EXPECT_EQ(t.state, ThreadState::kExited);
+  EXPECT_EQ(w.kernel->mutex(m).contended_acquires, 0);
+}
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  SyncWorld w(4, 4);
+  const int m = w.kernel->CreateMutex();
+  int exits = 0;
+  w.kernel->on_thread_exit = [&](GuestThread&) { ++exits; };
+  for (int i = 0; i < 4; ++i) {
+    std::vector<Op> ops;
+    for (int round = 0; round < 50; ++round) {
+      ops.push_back(Op::MutexLock(m));
+      ops.push_back(Op::Compute(Microseconds(100)));
+      ops.push_back(Op::MutexUnlock(m));
+      ops.push_back(Op::Compute(Microseconds(50)));
+    }
+    w.kernel->Spawn("w" + std::to_string(i), &w.Body(std::move(ops)));
+  }
+  w.sim().RunUntil(Seconds(1));
+  EXPECT_EQ(exits, 4);
+  // Total critical-section time 4*50*100us = 20 ms serialized: the run must take at
+  // least that long.
+  EXPECT_GT(w.kernel->mutex(m).contended_acquires, 0);
+}
+
+TEST(MutexTest, HandoffWakesWaiterInFifoOrder) {
+  // Three pCPUs/vCPUs so the staggered computes really run in parallel and the lock
+  // arrival order is the spawn order.
+  SyncWorld w(3, 3);
+  const int m = w.kernel->CreateMutex();
+  std::vector<int> exit_order;
+  w.kernel->on_thread_exit = [&](GuestThread& t) {
+    exit_order.push_back(t.id());
+  };
+  std::vector<GuestThread*> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.push_back(&w.kernel->Spawn(
+        "w" + std::to_string(i),
+        &w.Body({Op::Compute(Microseconds(10 * (i + 1))), Op::MutexLock(m),
+                 Op::Compute(Milliseconds(2)), Op::MutexUnlock(m)})));
+  }
+  w.sim().RunUntil(Milliseconds(50));
+  ASSERT_EQ(exit_order.size(), 3u);
+  // Arrival order w0, w1, w2 -> exit in the same order (ticket handoff).
+  EXPECT_EQ(exit_order[0], threads[0]->id());
+  EXPECT_EQ(exit_order[1], threads[1]->id());
+  EXPECT_EQ(exit_order[2], threads[2]->id());
+}
+
+TEST(CondVarTest, SignalWakesOneWaiter) {
+  SyncWorld w(2, 2);
+  const int m = w.kernel->CreateMutex();
+  const int cv = w.kernel->CreateCond();
+  GuestThread& waiter = w.kernel->Spawn(
+      "waiter", &w.Body({Op::MutexLock(m), Op::CondWait(cv, m),
+                         Op::MutexUnlock(m)}));
+  w.sim().RunUntil(Milliseconds(5));
+  EXPECT_EQ(waiter.state, ThreadState::kBlocked);
+  w.kernel->Spawn("signaler",
+                  &w.Body({Op::Compute(Milliseconds(1)), Op::CondSignal(cv)}));
+  w.sim().RunUntil(Milliseconds(20));
+  EXPECT_EQ(waiter.state, ThreadState::kExited);
+  EXPECT_EQ(w.kernel->cond(cv).signals, 1);
+}
+
+TEST(CondVarTest, BroadcastWakesAllWaitersSerially) {
+  SyncWorld w(4, 4);
+  const int m = w.kernel->CreateMutex();
+  const int cv = w.kernel->CreateCond();
+  int exits = 0;
+  w.kernel->on_thread_exit = [&](GuestThread&) { ++exits; };
+  for (int i = 0; i < 3; ++i) {
+    w.kernel->Spawn("waiter" + std::to_string(i),
+                    &w.Body({Op::MutexLock(m), Op::CondWait(cv, m),
+                             Op::Compute(Microseconds(100)), Op::MutexUnlock(m)}));
+  }
+  w.sim().RunUntil(Milliseconds(5));
+  w.kernel->Spawn("bcast",
+                  &w.Body({Op::Compute(Milliseconds(1)), Op::CondBroadcast(cv)}));
+  w.sim().RunUntil(Milliseconds(50));
+  EXPECT_EQ(exits, 4);
+}
+
+TEST(CondVarTest, SignalWithNoWaiterIsCheapNoop) {
+  SyncWorld w(1, 1);
+  const int cv = w.kernel->CreateCond();
+  GuestThread& t = w.kernel->Spawn("s", &w.Body({Op::CondSignal(cv)}));
+  w.sim().RunUntil(Milliseconds(1));
+  EXPECT_EQ(t.state, ThreadState::kExited);
+  EXPECT_EQ(w.kernel->cond(cv).signals, 0);
+}
+
+// --- spin flags (ad-hoc user spinning) ---
+
+TEST(SpinFlagTest, WaiterSpinsUntilFlagRaised) {
+  SyncWorld w(2, 2);
+  const int f = w.kernel->CreateSpinFlag();
+  GuestThread& waiter =
+      w.kernel->Spawn("waiter", &w.Body({Op::SpinFlagWait(f, 1)}));
+  w.kernel->Spawn("setter", &w.Body({Op::Compute(Milliseconds(10)),
+                                     Op::SpinFlagSet(f, 1)}));
+  w.sim().RunUntil(Milliseconds(5));
+  EXPECT_EQ(waiter.state, ThreadState::kRunning);  // burning CPU
+  w.sim().RunUntil(Milliseconds(20));
+  EXPECT_EQ(waiter.state, ThreadState::kExited);
+  EXPECT_NEAR(ToMilliseconds(waiter.spin_time), 10.0, 1.5);
+}
+
+TEST(SpinFlagTest, AlreadySatisfiedWaitCompletesImmediately) {
+  SyncWorld w(1, 1);
+  const int f = w.kernel->CreateSpinFlag();
+  w.kernel->RaiseSpinFlag(f, 5);
+  GuestThread& t = w.kernel->Spawn("t", &w.Body({Op::SpinFlagWait(f, 3)}));
+  w.sim().RunUntil(Milliseconds(1));
+  EXPECT_EQ(t.state, ThreadState::kExited);
+  EXPECT_EQ(t.spin_time, 0);
+}
+
+TEST(SpinFlagTest, PipelineOrderingHolds) {
+  // Three-stage spin pipeline: each stage waits for the previous.
+  SyncWorld w(4, 4);
+  const int f01 = w.kernel->CreateSpinFlag();
+  const int f12 = w.kernel->CreateSpinFlag();
+  std::vector<int> exit_order;
+  w.kernel->on_thread_exit = [&](GuestThread& t) { exit_order.push_back(t.id()); };
+  GuestThread& t0 = w.kernel->Spawn(
+      "s0", &w.Body({Op::Compute(Milliseconds(2)), Op::SpinFlagSet(f01, 1)}));
+  GuestThread& t1 = w.kernel->Spawn(
+      "s1", &w.Body({Op::SpinFlagWait(f01, 1), Op::Compute(Milliseconds(2)),
+                     Op::SpinFlagSet(f12, 1)}));
+  GuestThread& t2 = w.kernel->Spawn(
+      "s2", &w.Body({Op::SpinFlagWait(f12, 1), Op::Compute(Milliseconds(2))}));
+  w.sim().RunUntil(Milliseconds(30));
+  ASSERT_EQ(exit_order.size(), 3u);
+  EXPECT_EQ(exit_order[0], t0.id());
+  EXPECT_EQ(exit_order[1], t1.id());
+  EXPECT_EQ(exit_order[2], t2.id());
+}
+
+// --- kernel spinlocks & pv-spinlock ---
+
+TEST(KernelLockTest, SectionsSerialize) {
+  SyncWorld w(4, 4);
+  const int kl = w.kernel->CreateKernelLock();
+  int exits = 0;
+  w.kernel->on_thread_exit = [&](GuestThread&) { ++exits; };
+  for (int i = 0; i < 4; ++i) {
+    w.kernel->Spawn("w" + std::to_string(i),
+                    &w.Body({Op::KernelWork(kl, Milliseconds(2))}));
+  }
+  w.sim().RunUntil(Milliseconds(50));
+  EXPECT_EQ(exits, 4);
+  EXPECT_EQ(w.kernel->kernel_lock(kl).acquisitions, 4);
+  EXPECT_GE(w.kernel->kernel_lock(kl).contentions, 1);
+  // Waiters burned CPU spinning while the holder ran (vanilla ticket lock).
+  EXPECT_GT(w.kernel->kernel_lock(kl).total_spin_wait, Milliseconds(2));
+}
+
+TEST(KernelLockTest, LhpEmergesWhenHolderVcpuPreempted) {
+  // 2 vCPUs on 1 pCPU: when the lock holder's vCPU loses the pCPU to the spinner's
+  // vCPU, the spinner burns a whole hypervisor slice accomplishing nothing.
+  SyncWorld w(1, 2);
+  const int kl = w.kernel->CreateKernelLock();
+  w.kernel->Spawn("holder", &w.Body({Op::Compute(Microseconds(100)),
+                                     Op::KernelWork(kl, Milliseconds(50))}));
+  w.kernel->Spawn("waiter", &w.Body({Op::Compute(Microseconds(200)),
+                                     Op::KernelWork(kl, Milliseconds(1))}));
+  w.sim().RunUntil(Seconds(1));
+  // The waiter's spin wait far exceeds the critical section it waited for.
+  EXPECT_GT(w.kernel->kernel_lock(kl).total_spin_wait, Milliseconds(20));
+}
+
+TEST(KernelLockTest, PvSpinlockYieldsInsteadOfBurning) {
+  SyncWorld vanilla(1, 2, /*pv_spinlock=*/false);
+  SyncWorld pv(1, 2, /*pv_spinlock=*/true);
+  for (SyncWorld* w : {&vanilla, &pv}) {
+    const int kl = w->kernel->CreateKernelLock();
+    w->kernel->Spawn("holder", &w->Body({Op::Compute(Microseconds(100)),
+                                         Op::KernelWork(kl, Milliseconds(50))}));
+    w->kernel->Spawn("waiter", &w->Body({Op::Compute(Microseconds(200)),
+                                         Op::KernelWork(kl, Milliseconds(1))}));
+    w->sim().RunUntil(Seconds(1));
+  }
+  const TimeNs vanilla_spin = vanilla.kernel->kernel_lock(0).total_spin_wait;
+  const TimeNs pv_spin = pv.kernel->kernel_lock(0).total_spin_wait;
+  // pv-spinlock caps the spin at its budget (30 us) before yielding the vCPU.
+  EXPECT_LT(pv_spin, vanilla_spin / 10);
+}
+
+TEST(KernelLockTest, PvKickResumesYieldedWaiter) {
+  SyncWorld w(1, 2, /*pv_spinlock=*/true);
+  const int kl = w.kernel->CreateKernelLock();
+  int exits = 0;
+  w.kernel->on_thread_exit = [&](GuestThread&) { ++exits; };
+  w.kernel->Spawn("holder", &w.Body({Op::KernelWork(kl, Milliseconds(10))}));
+  w.kernel->Spawn("waiter", &w.Body({Op::Compute(Microseconds(50)),
+                                     Op::KernelWork(kl, Milliseconds(1))}));
+  w.sim().RunUntil(Milliseconds(100));
+  EXPECT_EQ(exits, 2);  // the yielded waiter was kicked and finished
+}
+
+// Property: for any interleaving, a mutex-protected counter sees serialized sections
+// (modeled by checking exits and contended counts stay consistent).
+class MutexStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutexStressTest, AllThreadsComplete) {
+  const int threads = GetParam();
+  SyncWorld w(2, 4, false, static_cast<uint64_t>(threads) * 17);
+  const int m = w.kernel->CreateMutex();
+  int exits = 0;
+  w.kernel->on_thread_exit = [&](GuestThread&) { ++exits; };
+  for (int i = 0; i < threads; ++i) {
+    std::vector<Op> ops;
+    for (int r = 0; r < 20; ++r) {
+      ops.push_back(Op::Compute(Microseconds(30 + 7 * i)));
+      ops.push_back(Op::MutexLock(m));
+      ops.push_back(Op::Compute(Microseconds(40)));
+      ops.push_back(Op::MutexUnlock(m));
+    }
+    w.kernel->Spawn("w" + std::to_string(i), &w.Body(std::move(ops)));
+  }
+  w.sim().RunUntil(Seconds(2));
+  EXPECT_EQ(exits, threads);
+  EXPECT_EQ(w.kernel->mutex(m).holder, nullptr);
+  EXPECT_TRUE(w.kernel->mutex(m).waiters.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(VaryingContention, MutexStressTest,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace vscale
