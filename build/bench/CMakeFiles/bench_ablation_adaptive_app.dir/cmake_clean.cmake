@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adaptive_app.dir/bench_ablation_adaptive_app.cc.o"
+  "CMakeFiles/bench_ablation_adaptive_app.dir/bench_ablation_adaptive_app.cc.o.d"
+  "bench_ablation_adaptive_app"
+  "bench_ablation_adaptive_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptive_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

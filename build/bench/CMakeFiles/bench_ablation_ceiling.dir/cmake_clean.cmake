@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ceiling.dir/bench_ablation_ceiling.cc.o"
+  "CMakeFiles/bench_ablation_ceiling.dir/bench_ablation_ceiling.cc.o.d"
+  "bench_ablation_ceiling"
+  "bench_ablation_ceiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ceiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_weight.dir/bench_ablation_weight.cc.o"
+  "CMakeFiles/bench_ablation_weight.dir/bench_ablation_weight.cc.o.d"
+  "bench_ablation_weight"
+  "bench_ablation_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comparison_vcpubal.dir/bench_comparison_vcpubal.cc.o"
+  "CMakeFiles/bench_comparison_vcpubal.dir/bench_comparison_vcpubal.cc.o.d"
+  "bench_comparison_vcpubal"
+  "bench_comparison_vcpubal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comparison_vcpubal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_npb_ipi.dir/bench_fig10_npb_ipi.cc.o"
+  "CMakeFiles/bench_fig10_npb_ipi.dir/bench_fig10_npb_ipi.cc.o.d"
+  "bench_fig10_npb_ipi"
+  "bench_fig10_npb_ipi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_npb_ipi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

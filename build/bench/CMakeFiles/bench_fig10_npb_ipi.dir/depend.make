@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_npb_ipi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_parsec_8vcpu.
+# This may be replaced when dependencies are built.

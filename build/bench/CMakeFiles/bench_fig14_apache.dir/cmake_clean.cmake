@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_apache.dir/bench_fig14_apache.cc.o"
+  "CMakeFiles/bench_fig14_apache.dir/bench_fig14_apache.cc.o.d"
+  "bench_fig14_apache"
+  "bench_fig14_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_toolstack.dir/bench_fig4_toolstack.cc.o"
+  "CMakeFiles/bench_fig4_toolstack.dir/bench_fig4_toolstack.cc.o.d"
+  "bench_fig4_toolstack"
+  "bench_fig4_toolstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_toolstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

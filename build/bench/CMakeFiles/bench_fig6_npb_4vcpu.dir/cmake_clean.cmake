@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_npb_4vcpu.dir/bench_fig6_npb_4vcpu.cc.o"
+  "CMakeFiles/bench_fig6_npb_4vcpu.dir/bench_fig6_npb_4vcpu.cc.o.d"
+  "bench_fig6_npb_4vcpu"
+  "bench_fig6_npb_4vcpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_npb_4vcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

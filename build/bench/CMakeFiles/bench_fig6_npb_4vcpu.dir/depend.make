@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_npb_4vcpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_npb_8vcpu.dir/bench_fig7_npb_8vcpu.cc.o"
+  "CMakeFiles/bench_fig7_npb_8vcpu.dir/bench_fig7_npb_8vcpu.cc.o.d"
+  "bench_fig7_npb_8vcpu"
+  "bench_fig7_npb_8vcpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_npb_8vcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

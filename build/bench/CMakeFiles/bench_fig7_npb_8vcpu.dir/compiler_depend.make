@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_npb_8vcpu.
+# This may be replaced when dependencies are built.

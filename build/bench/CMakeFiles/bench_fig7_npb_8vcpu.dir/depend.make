@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_npb_8vcpu.
+# This may be replaced when dependencies are built.

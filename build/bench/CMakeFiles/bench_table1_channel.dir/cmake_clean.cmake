@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_channel.dir/bench_table1_channel.cc.o"
+  "CMakeFiles/bench_table1_channel.dir/bench_table1_channel.cc.o.d"
+  "bench_table1_channel"
+  "bench_table1_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_quiescence.dir/bench_table2_quiescence.cc.o"
+  "CMakeFiles/bench_table2_quiescence.dir/bench_table2_quiescence.cc.o.d"
+  "bench_table2_quiescence"
+  "bench_table2_quiescence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_quiescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidation_scenario.dir/consolidation_scenario.cpp.o"
+  "CMakeFiles/consolidation_scenario.dir/consolidation_scenario.cpp.o.d"
+  "consolidation_scenario"
+  "consolidation_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidation_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vscale_base.dir/histogram.cc.o"
+  "CMakeFiles/vscale_base.dir/histogram.cc.o.d"
+  "CMakeFiles/vscale_base.dir/log.cc.o"
+  "CMakeFiles/vscale_base.dir/log.cc.o.d"
+  "CMakeFiles/vscale_base.dir/rng.cc.o"
+  "CMakeFiles/vscale_base.dir/rng.cc.o.d"
+  "CMakeFiles/vscale_base.dir/stats.cc.o"
+  "CMakeFiles/vscale_base.dir/stats.cc.o.d"
+  "CMakeFiles/vscale_base.dir/table.cc.o"
+  "CMakeFiles/vscale_base.dir/table.cc.o.d"
+  "CMakeFiles/vscale_base.dir/time.cc.o"
+  "CMakeFiles/vscale_base.dir/time.cc.o.d"
+  "libvscale_base.a"
+  "libvscale_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vscale_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

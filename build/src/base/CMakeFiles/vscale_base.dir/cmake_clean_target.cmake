@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvscale_base.a"
+)

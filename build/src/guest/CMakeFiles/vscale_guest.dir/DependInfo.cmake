@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/kernel.cc" "src/guest/CMakeFiles/vscale_guest.dir/kernel.cc.o" "gcc" "src/guest/CMakeFiles/vscale_guest.dir/kernel.cc.o.d"
+  "/root/repo/src/guest/kernel_sched.cc" "src/guest/CMakeFiles/vscale_guest.dir/kernel_sched.cc.o" "gcc" "src/guest/CMakeFiles/vscale_guest.dir/kernel_sched.cc.o.d"
+  "/root/repo/src/guest/kernel_sync.cc" "src/guest/CMakeFiles/vscale_guest.dir/kernel_sync.cc.o" "gcc" "src/guest/CMakeFiles/vscale_guest.dir/kernel_sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypervisor/CMakeFiles/vscale_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vscale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vscale_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vscale_guest.dir/kernel.cc.o"
+  "CMakeFiles/vscale_guest.dir/kernel.cc.o.d"
+  "CMakeFiles/vscale_guest.dir/kernel_sched.cc.o"
+  "CMakeFiles/vscale_guest.dir/kernel_sched.cc.o.d"
+  "CMakeFiles/vscale_guest.dir/kernel_sync.cc.o"
+  "CMakeFiles/vscale_guest.dir/kernel_sync.cc.o.d"
+  "libvscale_guest.a"
+  "libvscale_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vscale_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/domain.cc" "src/hypervisor/CMakeFiles/vscale_hypervisor.dir/domain.cc.o" "gcc" "src/hypervisor/CMakeFiles/vscale_hypervisor.dir/domain.cc.o.d"
+  "/root/repo/src/hypervisor/hotplug_model.cc" "src/hypervisor/CMakeFiles/vscale_hypervisor.dir/hotplug_model.cc.o" "gcc" "src/hypervisor/CMakeFiles/vscale_hypervisor.dir/hotplug_model.cc.o.d"
+  "/root/repo/src/hypervisor/machine.cc" "src/hypervisor/CMakeFiles/vscale_hypervisor.dir/machine.cc.o" "gcc" "src/hypervisor/CMakeFiles/vscale_hypervisor.dir/machine.cc.o.d"
+  "/root/repo/src/hypervisor/toolstack.cc" "src/hypervisor/CMakeFiles/vscale_hypervisor.dir/toolstack.cc.o" "gcc" "src/hypervisor/CMakeFiles/vscale_hypervisor.dir/toolstack.cc.o.d"
+  "/root/repo/src/hypervisor/vscale_channel.cc" "src/hypervisor/CMakeFiles/vscale_hypervisor.dir/vscale_channel.cc.o" "gcc" "src/hypervisor/CMakeFiles/vscale_hypervisor.dir/vscale_channel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vscale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vscale_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vscale_hypervisor.dir/domain.cc.o"
+  "CMakeFiles/vscale_hypervisor.dir/domain.cc.o.d"
+  "CMakeFiles/vscale_hypervisor.dir/hotplug_model.cc.o"
+  "CMakeFiles/vscale_hypervisor.dir/hotplug_model.cc.o.d"
+  "CMakeFiles/vscale_hypervisor.dir/machine.cc.o"
+  "CMakeFiles/vscale_hypervisor.dir/machine.cc.o.d"
+  "CMakeFiles/vscale_hypervisor.dir/toolstack.cc.o"
+  "CMakeFiles/vscale_hypervisor.dir/toolstack.cc.o.d"
+  "CMakeFiles/vscale_hypervisor.dir/vscale_channel.cc.o"
+  "CMakeFiles/vscale_hypervisor.dir/vscale_channel.cc.o.d"
+  "libvscale_hypervisor.a"
+  "libvscale_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vscale_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vscale_metrics.dir/run_metrics.cc.o"
+  "CMakeFiles/vscale_metrics.dir/run_metrics.cc.o.d"
+  "libvscale_metrics.a"
+  "libvscale_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vscale_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vscale_sim.dir/event_queue.cc.o"
+  "CMakeFiles/vscale_sim.dir/event_queue.cc.o.d"
+  "libvscale_sim.a"
+  "libvscale_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vscale_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vscale/balancer.cc" "src/vscale/CMakeFiles/vscale_core.dir/balancer.cc.o" "gcc" "src/vscale/CMakeFiles/vscale_core.dir/balancer.cc.o.d"
+  "/root/repo/src/vscale/daemon.cc" "src/vscale/CMakeFiles/vscale_core.dir/daemon.cc.o" "gcc" "src/vscale/CMakeFiles/vscale_core.dir/daemon.cc.o.d"
+  "/root/repo/src/vscale/extendability.cc" "src/vscale/CMakeFiles/vscale_core.dir/extendability.cc.o" "gcc" "src/vscale/CMakeFiles/vscale_core.dir/extendability.cc.o.d"
+  "/root/repo/src/vscale/ticker.cc" "src/vscale/CMakeFiles/vscale_core.dir/ticker.cc.o" "gcc" "src/vscale/CMakeFiles/vscale_core.dir/ticker.cc.o.d"
+  "/root/repo/src/vscale/vcpubal.cc" "src/vscale/CMakeFiles/vscale_core.dir/vcpubal.cc.o" "gcc" "src/vscale/CMakeFiles/vscale_core.dir/vcpubal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/vscale_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/vscale_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vscale_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vscale_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

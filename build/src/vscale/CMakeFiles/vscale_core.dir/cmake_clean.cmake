@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vscale_core.dir/balancer.cc.o"
+  "CMakeFiles/vscale_core.dir/balancer.cc.o.d"
+  "CMakeFiles/vscale_core.dir/daemon.cc.o"
+  "CMakeFiles/vscale_core.dir/daemon.cc.o.d"
+  "CMakeFiles/vscale_core.dir/extendability.cc.o"
+  "CMakeFiles/vscale_core.dir/extendability.cc.o.d"
+  "CMakeFiles/vscale_core.dir/ticker.cc.o"
+  "CMakeFiles/vscale_core.dir/ticker.cc.o.d"
+  "CMakeFiles/vscale_core.dir/vcpubal.cc.o"
+  "CMakeFiles/vscale_core.dir/vcpubal.cc.o.d"
+  "libvscale_core.a"
+  "libvscale_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vscale_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/adaptive_app.cc" "src/workloads/CMakeFiles/vscale_workloads.dir/adaptive_app.cc.o" "gcc" "src/workloads/CMakeFiles/vscale_workloads.dir/adaptive_app.cc.o.d"
+  "/root/repo/src/workloads/background.cc" "src/workloads/CMakeFiles/vscale_workloads.dir/background.cc.o" "gcc" "src/workloads/CMakeFiles/vscale_workloads.dir/background.cc.o.d"
+  "/root/repo/src/workloads/campaign.cc" "src/workloads/CMakeFiles/vscale_workloads.dir/campaign.cc.o" "gcc" "src/workloads/CMakeFiles/vscale_workloads.dir/campaign.cc.o.d"
+  "/root/repo/src/workloads/omp_app.cc" "src/workloads/CMakeFiles/vscale_workloads.dir/omp_app.cc.o" "gcc" "src/workloads/CMakeFiles/vscale_workloads.dir/omp_app.cc.o.d"
+  "/root/repo/src/workloads/pthread_app.cc" "src/workloads/CMakeFiles/vscale_workloads.dir/pthread_app.cc.o" "gcc" "src/workloads/CMakeFiles/vscale_workloads.dir/pthread_app.cc.o.d"
+  "/root/repo/src/workloads/testbed.cc" "src/workloads/CMakeFiles/vscale_workloads.dir/testbed.cc.o" "gcc" "src/workloads/CMakeFiles/vscale_workloads.dir/testbed.cc.o.d"
+  "/root/repo/src/workloads/web_server.cc" "src/workloads/CMakeFiles/vscale_workloads.dir/web_server.cc.o" "gcc" "src/workloads/CMakeFiles/vscale_workloads.dir/web_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vscale/CMakeFiles/vscale_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vscale_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/vscale_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/vscale_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vscale_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vscale_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vscale_workloads.dir/adaptive_app.cc.o"
+  "CMakeFiles/vscale_workloads.dir/adaptive_app.cc.o.d"
+  "CMakeFiles/vscale_workloads.dir/background.cc.o"
+  "CMakeFiles/vscale_workloads.dir/background.cc.o.d"
+  "CMakeFiles/vscale_workloads.dir/campaign.cc.o"
+  "CMakeFiles/vscale_workloads.dir/campaign.cc.o.d"
+  "CMakeFiles/vscale_workloads.dir/omp_app.cc.o"
+  "CMakeFiles/vscale_workloads.dir/omp_app.cc.o.d"
+  "CMakeFiles/vscale_workloads.dir/pthread_app.cc.o"
+  "CMakeFiles/vscale_workloads.dir/pthread_app.cc.o.d"
+  "CMakeFiles/vscale_workloads.dir/testbed.cc.o"
+  "CMakeFiles/vscale_workloads.dir/testbed.cc.o.d"
+  "CMakeFiles/vscale_workloads.dir/web_server.cc.o"
+  "CMakeFiles/vscale_workloads.dir/web_server.cc.o.d"
+  "libvscale_workloads.a"
+  "libvscale_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vscale_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base_test.cc" "tests/CMakeFiles/base_test.dir/base_test.cc.o" "gcc" "tests/CMakeFiles/base_test.dir/base_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/vscale_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vscale/CMakeFiles/vscale_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vscale_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/vscale_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/vscale_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vscale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vscale_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vscale_test.dir/vscale_test.cc.o"
+  "CMakeFiles/vscale_test.dir/vscale_test.cc.o.d"
+  "vscale_test"
+  "vscale_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vscale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

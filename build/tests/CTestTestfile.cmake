@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(base_test "/root/repo/build/tests/base_test")
+set_tests_properties(base_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;vscale_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;vscale_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hypervisor_test "/root/repo/build/tests/hypervisor_test")
+set_tests_properties(hypervisor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;vscale_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(guest_test "/root/repo/build/tests/guest_test")
+set_tests_properties(guest_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;vscale_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sync_test "/root/repo/build/tests/sync_test")
+set_tests_properties(sync_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;vscale_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vscale_test "/root/repo/build/tests/vscale_test")
+set_tests_properties(vscale_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;vscale_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;vscale_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;vscale_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stress_test "/root/repo/build/tests/stress_test")
+set_tests_properties(stress_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;vscale_add_test;/root/repo/tests/CMakeLists.txt;0;")
