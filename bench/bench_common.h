@@ -7,13 +7,78 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "src/base/metrics_registry.h"
 #include "src/base/table.h"
+#include "src/base/trace.h"
+#include "src/metrics/trace_export.h"
 #include "src/workloads/campaign.h"
 
 namespace vscale {
+
+// Opt-in flight recording for a bench binary: construct one at the top of main()
+// and the whole run records into the global tracer, exported on destruction.
+//
+//   bench_fig9_waiting_time --trace fig9.trace.json --metrics fig9.csv
+//
+// Also honored via environment (so wrapper scripts need no flag plumbing):
+// VSCALE_TRACE_OUT=<path> and VSCALE_METRICS_OUT=<path>. With neither given this
+// is inert: the tracer stays disabled and runs are bit-identical to an untraced
+// binary. See docs/OBSERVABILITY.md.
+class BenchTraceScope {
+ public:
+  BenchTraceScope(int argc, char** argv) {
+    if (const char* env = std::getenv("VSCALE_TRACE_OUT")) {
+      trace_path_ = env;
+    }
+    if (const char* env = std::getenv("VSCALE_METRICS_OUT")) {
+      metrics_path_ = env;
+    }
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        trace_path_ = argv[++i];
+      } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+        metrics_path_ = argv[++i];
+      }
+    }
+    if (!trace_path_.empty()) {
+      GlobalTracer().Clear();
+      GlobalTracer().Enable();
+    }
+  }
+
+  ~BenchTraceScope() {
+    if (!trace_path_.empty()) {
+      GlobalTracer().Disable();
+      std::string error;
+      if (WriteChromeTraceFile(GlobalTracer(), trace_path_, &error)) {
+        std::printf("trace: wrote %zu events to %s (%llu dropped by ring)\n",
+                    GlobalTracer().size(), trace_path_.c_str(),
+                    static_cast<unsigned long long>(GlobalTracer().dropped()));
+      } else {
+        std::fprintf(stderr, "trace: %s\n", error.c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream f(metrics_path_);
+      if (f) {
+        MetricsRegistry::Global().WriteCsv(f);
+        std::printf("metrics: wrote %zu metrics to %s\n",
+                    MetricsRegistry::Global().size(), metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "metrics: cannot open %s\n", metrics_path_.c_str());
+      }
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 inline std::vector<uint64_t> BenchSeeds() {
   int n = 1;

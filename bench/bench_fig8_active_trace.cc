@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/workloads/campaign.h"
 
 using namespace vscale;
@@ -62,7 +63,8 @@ void TraceRun(int vcpus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchTraceScope trace_scope(argc, argv);  // --trace/--metrics (OBSERVABILITY.md)
   std::printf("Figure 8: active vCPUs over time running bt with vScale\n\n");
   TraceRun(4);
   TraceRun(8);

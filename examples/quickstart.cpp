@@ -2,16 +2,27 @@
 // under vanilla Xen/Linux and under vScale, and compare execution time, scheduling
 // delay (VM waiting time) and IPI load.
 //
-//   $ ./examples/quickstart [app] [vcpus]
+//   $ ./examples/quickstart [app] [vcpus] [--trace out.json] [--metrics out.csv]
+//
+// --trace records both runs into the flight recorder and writes a Chrome trace_event
+// JSON file (open it in ui.perfetto.dev); --metrics dumps the named counter/gauge
+// registry as CSV. See docs/OBSERVABILITY.md.
 //
 // Demonstrates the core public API: Testbed (machine + guests + vScale wiring),
 // OmpApp (workload), and the metric snapshot helpers.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
+#include "src/base/metrics_registry.h"
 #include "src/base/table.h"
+#include "src/base/trace.h"
 #include "src/metrics/run_metrics.h"
+#include "src/metrics/trace_export.h"
 #include "src/workloads/omp_app.h"
 #include "src/workloads/testbed.h"
 
@@ -55,14 +66,62 @@ RunOutcome RunOnce(vscale::Policy policy, const std::string& app_name, int vcpus
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string app = argc > 1 ? argv[1] : "lu";
-  const int vcpus = argc > 2 ? std::atoi(argv[2]) : 4;
+  std::string trace_path;
+  std::string metrics_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 || std::strcmp(argv[i], "--metrics") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: quickstart [app] [vcpus] [--trace out.json] "
+                             "[--metrics out.csv]\n%s requires a path\n", argv[i]);
+        return 2;
+      }
+      (std::strcmp(argv[i], "--trace") == 0 ? trace_path : metrics_path) = argv[i + 1];
+      ++i;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const std::string app = !positional.empty() ? positional[0] : "lu";
+  const int vcpus = positional.size() > 1 ? std::atoi(positional[1].c_str()) : 4;
+
+  if (!trace_path.empty()) {
+    // Both runs (baseline then vScale) share one timeline; a larger ring keeps the
+    // baseline window from being overwritten by the second run (~50 MB transient).
+    vscale::GlobalTracer().SetCapacity(1u << 20);
+    vscale::GlobalTracer().Enable();
+  }
 
   std::printf("vScale quickstart: NPB '%s' on a %d-vCPU VM, 2 vCPUs per pCPU\n\n",
               app.c_str(), vcpus);
 
   const RunOutcome base = RunOnce(vscale::Policy::kBaseline, app, vcpus, 42);
   const RunOutcome vs = RunOnce(vscale::Policy::kVscale, app, vcpus, 42);
+
+  // Export observability artifacts before printing the comparison: the two runs sit
+  // back to back on one timeline (the tracer rebases the second run's timestamps).
+  if (!trace_path.empty()) {
+    vscale::GlobalTracer().Disable();
+    std::string error;
+    if (vscale::WriteChromeTraceFile(vscale::GlobalTracer(), trace_path, &error)) {
+      std::printf("trace: wrote %zu events to %s (%llu dropped by ring) — open in "
+                  "ui.perfetto.dev\n",
+                  vscale::GlobalTracer().size(), trace_path.c_str(),
+                  static_cast<unsigned long long>(vscale::GlobalTracer().dropped()));
+    } else {
+      std::fprintf(stderr, "trace: %s\n", error.c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream f(metrics_path);
+    if (f) {
+      vscale::MetricsRegistry::Global().WriteCsv(f);
+      std::printf("metrics: wrote %zu metrics to %s\n",
+                  vscale::MetricsRegistry::Global().size(), metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: cannot open %s\n", metrics_path.c_str());
+    }
+  }
 
   vscale::TextTable table({"config", "exec time (s)", "VM wait (s)", "vIPIs/s/vCPU"});
   table.AddRow({"Xen/Linux", vscale::TextTable::Num(vscale::ToSeconds(base.duration), 3),

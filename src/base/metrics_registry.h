@@ -1,0 +1,81 @@
+// MetricsRegistry: a named counter/gauge registry so experiment harnesses read
+// metrics by stable, documented names instead of reaching into ad-hoc struct fields.
+//
+// Two kinds of entries:
+//  * counters — int64 slots owned by the registry; callers keep the reference from
+//    Counter() and increment it directly (no per-increment lookup);
+//  * gauges — callbacks evaluated at collection time, used to expose live simulation
+//    state (domain wait time, IPI counts, ...) without copying it on every change.
+//
+// A gauge captures references into a Machine/GuestKernel, so it must not outlive the
+// simulation it reads. FreezeGauges() evaluates every gauge into a counter of the same
+// name and drops the callback — call it (Testbed's destructor does) before the
+// simulation is torn down, and the final values stay exportable.
+//
+// Naming convention (docs/OBSERVABILITY.md): dot-separated lowercase path,
+// `<layer>.<scope>.<metric>[_<unit>]`, e.g. "hv.context_switches",
+// "dom.primary.wait_ns", "dom.primary.vcpu2.resched_ipis". Harness code may prepend
+// a run prefix ("vscale.", "xen_linux.") to separate configurations in one dump.
+
+#ifndef VSCALE_SRC_BASE_METRICS_REGISTRY_H_
+#define VSCALE_SRC_BASE_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vscale {
+
+class MetricsRegistry {
+ public:
+  using Gauge = std::function<int64_t()>;
+
+  MetricsRegistry() = default;
+
+  // Returns the counter slot for `name`, creating it at 0 on first use. The reference
+  // stays valid until Clear() (std::map nodes are stable).
+  int64_t& Counter(const std::string& name);
+
+  // Installs (or replaces) a gauge. A gauge shadows a counter of the same name.
+  void RegisterGauge(const std::string& name, Gauge fn);
+
+  bool Has(const std::string& name) const;
+
+  // Current value: gauge if present, else counter, else 0.
+  int64_t Value(const std::string& name) const;
+
+  // All metrics, name-sorted, gauges evaluated now.
+  std::vector<std::pair<std::string, int64_t>> Collect() const;
+
+  // Evaluates every gauge into a counter of the same name and removes the callback.
+  void FreezeGauges();
+
+  // Copies every metric of `other` (gauges evaluated) into this registry as
+  // counters named `prefix + name`.
+  void MergeFrom(const MetricsRegistry& other, const std::string& prefix);
+
+  // CSV dump: header line "metric,value", then one name-sorted row per metric.
+  void WriteCsv(std::ostream& os) const;
+
+  void Clear();
+  size_t size() const;
+
+  // The process-wide registry the simulation harnesses register into.
+  static MetricsRegistry& Global();
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Gauge> gauges_;
+};
+
+// Lowercases `s` and maps anything outside [a-z0-9_.] to '_', for embedding free-form
+// names (domain names, policy labels) into metric paths.
+std::string SanitizeMetricName(const std::string& s);
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_BASE_METRICS_REGISTRY_H_

@@ -8,6 +8,7 @@
 #include <cassert>
 
 #include "src/base/log.h"
+#include "src/base/trace.h"
 
 namespace vscale {
 
@@ -198,6 +199,8 @@ void GuestKernel::DeliverEvent(VcpuId vcpu, EvtchnPort port) {
   if (port == kPortResched || port == kPortFreeze) {
     ++c.stats.resched_ipis;
     c.pending_kernel_ns += cost_.ipi_deliver_cost;
+    VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "ipi_recv",
+                             domain_.id(), c.id, -1, "port", port);
     HandleReschedIpi(c);
   } else if (port == kPortPvlockKick) {
     // The kicked waiter already owns the lock (granted before the kick); just resume.
@@ -210,6 +213,8 @@ void GuestKernel::DeliverEvent(VcpuId vcpu, EvtchnPort port) {
              port - kPortIoBase < static_cast<int>(io_irqs_.size())) {
     ++c.stats.io_irqs;
     c.pending_kernel_ns += cost_.irq_handle_cost;
+    VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "io_irq",
+                             domain_.id(), c.id, -1, "port", port);
     IoIrq& irq = io_irqs_[static_cast<size_t>(port - kPortIoBase)];
     if (irq.handler) {
       irq.handler(c.id);
@@ -363,6 +368,8 @@ TimeNs GuestKernel::FreezeCpu(int target) {
   GuestCpu& c = cpus_[static_cast<size_t>(target)];
   assert(!c.frozen);
   assert(target != 0 && "vCPU0 (the master) is never frozen");
+  VSCALE_TRACE_INSTANT(hv_.Now(), TraceCategory::kGuest, "freeze", domain_.id(),
+                       target, -1);
   // Master-side steps, in the order of Algorithm 2 / Table 3:
   // (1)-(2) set cpu_freeze_mask bit; other vCPUs stop pushing tasks here.
   c.frozen = true;
@@ -381,6 +388,8 @@ TimeNs GuestKernel::FreezeCpu(int target) {
 TimeNs GuestKernel::UnfreezeCpu(int target) {
   GuestCpu& c = cpus_[static_cast<size_t>(target)];
   assert(c.frozen);
+  VSCALE_TRACE_INSTANT(hv_.Now(), TraceCategory::kGuest, "unfreeze", domain_.id(),
+                       target, -1);
   c.frozen = false;
   c.evacuate_pending = false;
   UpdateGroupPower();
@@ -439,6 +448,9 @@ void GuestKernel::EvacuateCpu(GuestCpu& c) {
   }
   // Remaining non-migratable (pinned) uthreads keep the vCPU alive; otherwise it will
   // drain pending work and idle-block, completing the freeze.
+  VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "evacuate",
+                           domain_.id(), c.id, -1, "moved",
+                           static_cast<int64_t>(to_move.size()));
 }
 
 // ---------------------------------------------------------------------------
@@ -446,6 +458,8 @@ void GuestKernel::EvacuateCpu(GuestCpu& c) {
 // ---------------------------------------------------------------------------
 
 TimeNs GuestKernel::HotplugRemove(int target, TimeNs modeled_latency) {
+  VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "hotplug_remove",
+                           domain_.id(), target, -1, "latency_ns", modeled_latency);
   // stop_machine(): every online vCPU is halted with interrupts off for the whole
   // window — modeled as kernel backlog injected on each of them.
   for (auto& c : cpus_) {
@@ -466,6 +480,8 @@ TimeNs GuestKernel::HotplugRemove(int target, TimeNs modeled_latency) {
 }
 
 TimeNs GuestKernel::HotplugAdd(int target, TimeNs modeled_latency) {
+  VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "hotplug_add",
+                           domain_.id(), target, -1, "latency_ns", modeled_latency);
   GuestCpu& master = cpus_[0];
   master.pending_kernel_ns += modeled_latency;
   if (master.hv_running) {

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/base/trace.h"
 #include "src/guest/kernel.h"
 
 namespace vscale {
@@ -140,7 +141,9 @@ int GuestKernel::SelectTaskRq(const GuestThread& t) {
 }
 
 void GuestKernel::SendReschedIpi(int from_cpu, int to_cpu, EvtchnPort port) {
-  (void)from_cpu;
+  (void)from_cpu;  // only the trace hook reads it
+  VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "ipi_send",
+                           domain_.id(), from_cpu, -1, "to", to_cpu);
   hv_.NotifyEvent(domain_.id(), to_cpu, port, /*urgent=*/false);
 }
 
@@ -154,6 +157,8 @@ void GuestKernel::WakeThread(GuestThread& t, EvtchnPort wake_port) {
     ++t.migrations;
   }
   EnqueueThread(c, t);
+  VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "thread_wake",
+                           domain_.id(), dest, -1, "thread", t.id());
   // Remote enqueue notifies the destination CPU with a reschedule IPI; a wake onto the
   // CPU the waker itself runs on needs none (the local scheduler will see it).
   // We treat any wake that lands on a CPU that is not currently executing guest code

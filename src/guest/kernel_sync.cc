@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/base/trace.h"
 #include "src/guest/kernel.h"
 
 namespace vscale {
@@ -510,6 +511,8 @@ void GuestKernel::DoKernelLockAcquire(GuestCpu& c, GuestThread& t) {
   // Contended: ticket queue + busy wait (Figure 1(a) territory). With pv-spinlock the
   // spin is bounded; vanilla 3.14 ticket locks spin forever.
   ++kl.contentions;
+  VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "lock_contend",
+                           domain_.id(), t.cpu, -1, "lock", lock_id);
   kl.queue.push_back(&t);
   t.waiting_lock = lock_id;
   t.run_mode = RunMode::kKernelSpin;
@@ -525,6 +528,8 @@ void GuestKernel::GrantKernelLock(KernelLock& kl, GuestThread& t) {
   const int lock_id = static_cast<int>(&kl - kernel_locks_.data());
   t.held_lock = lock_id;
   ++kl.acquisitions;
+  VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "lock_grant",
+                           domain_.id(), t.cpu, -1, "lock", lock_id);
   StartKernelSection(t);
   if (config_.pv_spinlock) {
     // Kick the (possibly pv-yielded) waiter's vCPU. Harmless if it never yielded.
@@ -548,7 +553,8 @@ void GuestKernel::ReleaseKernelLock(int lock_id, GuestThread& releaser) {
 
 void GuestKernel::BlockCurrent(GuestCpu& c, GuestThread& t) {
   assert(c.current == &t);
-  PutCurrent(c, ThreadState::kBlocked);
+  VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "thread_block",
+                           domain_.id(), c.id, -1, "thread", t.id());
   DispatchNext(c);
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/base/log.h"
+#include "src/base/trace.h"
 
 namespace vscale {
 
@@ -25,6 +26,9 @@ Machine::~Machine() = default;
 
 Domain& Machine::CreateDomain(const std::string& name, int weight, int n_vcpus) {
   const DomainId id = static_cast<DomainId>(domains_.size());
+  if (VSCALE_TRACE_ACTIVE()) {
+    GlobalTracer().SetDomainName(id, name);
+  }
   domains_.push_back(std::make_unique<Domain>(id, name, weight, n_vcpus));
   int base = domain_vcpu_base_.empty()
                  ? 0
@@ -174,6 +178,10 @@ void Machine::ScheduleDecision(Pcpu& p) {
   Vcpu* next = PickFromRunq(p);
   if (next == nullptr && config_.work_stealing) {
     next = StealWork(p);
+    if (next != nullptr) {
+      VSCALE_TRACE_INSTANT(sim_.Now(), TraceCategory::kHypervisor, "steal",
+                           next->domain()->id(), next->id(), p.id);
+    }
   }
   if (next == nullptr) {
     if (on_schedule_hook) {
@@ -203,6 +211,10 @@ void Machine::RunOn(Pcpu& p, Vcpu& v) {
   v.last_settle = now;
   v.slice_end = now + config_.cost.hv_time_slice;
   ++context_switches_;
+  // Opens the "running" slice on both the pCPU and the vCPU export tracks; closed by
+  // the matching VSCALE_TRACE_END in DescheduleCurrent.
+  VSCALE_TRACE_BEGIN(now, TraceCategory::kHypervisor, "run", v.domain()->id(),
+                     v.id(), p.id);
   GuestOs* guest = v.domain()->guest();
   guest->OnScheduledIn(v.id(), now);
   DrainPendingPorts(v);
@@ -275,6 +287,8 @@ void Machine::OnAdvance(Vcpu& v) {
 void Machine::DescheduleCurrent(Pcpu& p, VcpuState new_state, bool requeue_tail) {
   Vcpu& v = *p.current;
   const TimeNs now = sim_.Now();
+  VSCALE_TRACE_END(now, TraceCategory::kHypervisor, "run", v.domain()->id(), v.id(),
+                   p.id);
   sim_.Cancel(v.advance_event);
   v.advance_event = Simulator::kInvalidEvent;
   sim_.Cancel(p.ratelimit_check);
@@ -307,6 +321,9 @@ void Machine::WakeVcpu(Vcpu& v, bool boost_eligible) {
   }
   v.state = VcpuState::kRunnable;
   v.wait_since = now;
+  VSCALE_TRACE_INSTANT_ARG(now, TraceCategory::kHypervisor, "vcpu_wake",
+                           v.domain()->id(), v.id(), v.pcpu, "boost",
+                           v.priority == CreditPriority::kBoost ? 1 : 0);
   InsertRunnable(v);
 }
 
@@ -343,6 +360,8 @@ void Machine::MaybePreempt(Pcpu& p) {
   }
   SettleRunning(*p.current);
   ++p.current->preemptions;
+  VSCALE_TRACE_INSTANT(now, TraceCategory::kHypervisor, "preempt",
+                       p.current->domain()->id(), p.current->id(), p.id);
   DescheduleCurrent(p, VcpuState::kRunnable);
   ScheduleDecision(p);
 }
@@ -441,6 +460,21 @@ void Machine::Accounting() {
     d->consumed_in_acct_window = 0;
   }
 
+  if (VSCALE_TRACE_ACTIVE()) {
+    // One credit-balance sample per domain per accounting pass: the entitlement side
+    // of every scheduling decision, next to the run/preempt slices it explains.
+    for (const auto& d : domains_) {
+      TimeNs credit_sum = 0;
+      for (int i = 0; i < d->n_vcpus(); ++i) {
+        if (!d->vcpu(i).frozen) {
+          credit_sum += d->vcpu(i).credit_ns;
+        }
+      }
+      VSCALE_TRACE_COUNTER(sim_.Now(), TraceCategory::kHypervisor, "credit_ns",
+                           d->id(), credit_sum);
+    }
+  }
+
   // Refresh queued vCPUs' priorities and resort queues.
   for (auto& p : pcpus_) {
     for (Vcpu* v : p.runq) {
@@ -481,6 +515,10 @@ void Machine::NotifyEvent(DomainId dom, VcpuId target, EvtchnPort port, bool urg
     }
     case VcpuState::kRunnable: {
       pending_ports_[static_cast<size_t>(GlobalIndex(v))].push_back(port);
+      // The delayed-virtual-interrupt pathology of paper Fig. 1(b)/(c): the event
+      // sits pending until the preempted vCPU is scheduled again.
+      VSCALE_TRACE_INSTANT_ARG(sim_.Now(), TraceCategory::kHypervisor,
+                               "evtchn_delayed", dom, target, v.pcpu, "port", port);
       if (urgent) {
         // vScale: prioritize the reconfigured vCPU so freeze/unfreeze IPIs land fast.
         RemoveFromRunq(v);
@@ -529,6 +567,8 @@ void Machine::PollVcpu(DomainId dom, VcpuId vcpu, EvtchnPort port) {
 void Machine::NotifyFreeze(DomainId dom, VcpuId vcpu, bool frozen) {
   Vcpu& v = GetVcpu(dom, vcpu);
   v.frozen = frozen;
+  VSCALE_TRACE_INSTANT_ARG(sim_.Now(), TraceCategory::kHypervisor, "hv_freeze", dom,
+                           vcpu, v.pcpu, "frozen", frozen ? 1 : 0);
   if (!frozen) {
     // Re-entering the active list: seed the vCPU with the domain's average active
     // balance so it does not sit OVER behind everyone until the next accounting pass.

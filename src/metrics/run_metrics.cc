@@ -2,6 +2,46 @@
 
 namespace vscale {
 
+void RegisterMachineMetrics(MetricsRegistry& registry, Machine& machine,
+                            const std::string& prefix) {
+  Machine* m = &machine;
+  registry.RegisterGauge(prefix + "sim.events_processed", [m] {
+    return static_cast<int64_t>(m->sim().events_processed());
+  });
+  registry.RegisterGauge(prefix + "hv.context_switches",
+                         [m] { return m->context_switches(); });
+  registry.RegisterGauge(prefix + "hv.idle_ns_total",
+                         [m] { return m->TotalIdleTime(); });
+  for (const auto& dptr : machine.domains()) {
+    Domain* d = dptr.get();
+    const std::string base = prefix + "dom." + SanitizeMetricName(d->name()) + ".";
+    registry.RegisterGauge(base + "runtime_ns", [d] { return d->TotalRuntime(); });
+    registry.RegisterGauge(base + "wait_ns", [d] { return d->TotalWait(); });
+    registry.RegisterGauge(base + "extendability_nvcpus",
+                           [d] { return static_cast<int64_t>(d->extendability_nvcpus); });
+    auto* kernel = dynamic_cast<GuestKernel*>(d->guest());
+    if (kernel == nullptr) {
+      continue;
+    }
+    registry.RegisterGauge(base + "active_vcpus", [kernel] {
+      return static_cast<int64_t>(kernel->online_cpus());
+    });
+    for (int i = 0; i < kernel->n_cpus(); ++i) {
+      const std::string vbase = base + "vcpu" + std::to_string(i) + ".";
+      registry.RegisterGauge(vbase + "timer_ints",
+                             [kernel, i] { return kernel->cpu(i).stats.timer_ints; });
+      registry.RegisterGauge(vbase + "resched_ipis", [kernel, i] {
+        return kernel->cpu(i).stats.resched_ipis;
+      });
+      registry.RegisterGauge(vbase + "io_irqs",
+                             [kernel, i] { return kernel->cpu(i).stats.io_irqs; });
+      registry.RegisterGauge(vbase + "guest_switches", [kernel, i] {
+        return kernel->cpu(i).stats.guest_switches;
+      });
+    }
+  }
+}
+
 GuestCounters GuestCounters::operator-(const GuestCounters& other) const {
   GuestCounters d;
   d.timer_ints = timer_ints - other.timer_ints;

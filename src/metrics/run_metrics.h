@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/metrics_registry.h"
 #include "src/base/time.h"
 #include "src/guest/kernel.h"
 #include "src/hypervisor/machine.h"
@@ -49,6 +50,18 @@ struct NormalizedRow {
 };
 std::vector<NormalizedRow> NormalizeToBaseline(const std::vector<AppRunResult>& runs,
                                                const std::string& baseline_policy);
+
+// Registers live gauges for a machine's canonical statistics under the naming
+// convention of docs/OBSERVABILITY.md: "<prefix>sim.events_processed",
+// "<prefix>hv.context_switches", "<prefix>hv.idle_ns_total", and per domain
+// "<prefix>dom.<name>.runtime_ns|wait_ns|extendability_nvcpus" plus, for domains
+// running a GuestKernel, "...active_vcpus" and per-vCPU interrupt counters
+// "...vcpu<i>.timer_ints|resched_ipis|io_irqs|guest_switches".
+//
+// The gauges read `machine` by reference: call registry.FreezeGauges() before the
+// machine is destroyed (Testbed's destructor does) to keep the final values.
+void RegisterMachineMetrics(MetricsRegistry& registry, Machine& machine,
+                            const std::string& prefix = "");
 
 }  // namespace vscale
 

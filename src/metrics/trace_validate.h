@@ -1,0 +1,36 @@
+// Dependency-free validator for exported Chrome trace_event JSON, used by the
+// `trace_lint` tool and the golden-file tests. It re-parses the emitted text (a
+// deliberately independent code path from the exporter) and checks the structural
+// invariants docs/OBSERVABILITY.md promises:
+//  * the document is well-formed JSON with a "traceEvents" array (or is the array);
+//  * every event has "ph", "pid", "tid"/"ts" as the phase requires;
+//  * per (pid, tid) track, timestamps are monotonically non-decreasing;
+//  * duration events balance: every 'E' closes an open 'B' on its track and no 'B'
+//    is left open at the end.
+
+#ifndef VSCALE_SRC_METRICS_TRACE_VALIDATE_H_
+#define VSCALE_SRC_METRICS_TRACE_VALIDATE_H_
+
+#include <set>
+#include <string>
+#include <utility>
+
+namespace vscale {
+
+// Aggregates of a validated trace, for acceptance checks and test assertions.
+struct TraceStats {
+  size_t events = 0;                         // non-metadata events
+  std::set<std::string> categories;          // distinct "cat" values
+  std::set<std::pair<int, int>> tracks;      // distinct (pid, tid)
+  std::set<int> domain_pids;                 // pids >= kTraceDomainPidBase
+};
+
+// Returns true when `json` is a valid Chrome trace per the checks above. On failure
+// returns false and describes the first violation in *error (if given). *stats (if
+// given) is filled on success.
+bool ValidateChromeTrace(const std::string& json, std::string* error = nullptr,
+                         TraceStats* stats = nullptr);
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_METRICS_TRACE_VALIDATE_H_

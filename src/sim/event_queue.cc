@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/base/trace.h"
+
 namespace vscale {
 
 Simulator::EventId Simulator::ScheduleAt(TimeNs when, std::function<void()> fn) {
@@ -53,6 +55,8 @@ bool Simulator::Step() {
   std::function<void()> fn = std::move(it->second);
   callbacks_.erase(it);
   ++events_processed_;
+  VSCALE_TRACE_INSTANT_ARG(now_, TraceCategory::kSim, "event_fire", -1, -1, -1,
+                           "pending", pending_events());
   fn();
   return true;
 }

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "src/base/trace.h"
+
 namespace vscale {
 
 TimeNs VscaleBalancer::ApplyTarget(int target) {
   target = std::clamp(target, 1, kernel_.n_cpus());
+  VSCALE_TRACE_INSTANT_ARG(kernel_.NowNs(), TraceCategory::kVscale, "apply_target",
+                           kernel_.domain().id(), -1, -1, "target", target);
   TimeNs cost = 0;
   int active = kernel_.online_cpus();
   // Shrink: freeze the highest-id active vCPU first (vCPU0 stays).

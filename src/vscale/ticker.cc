@@ -1,5 +1,7 @@
 #include "src/vscale/ticker.h"
 
+#include "src/base/trace.h"
+
 namespace vscale {
 
 ExtendabilityTicker::ExtendabilityTicker(Machine& machine, TimeNs period,
@@ -37,6 +39,9 @@ void ExtendabilityTicker::Recompute() {
       continue;  // UP-VMs are omitted: no room for scaling (paper section 4.2)
     }
     machine_.WriteExtendability(d->id(), results[i].optimal_vcpus, results[i].ext_ns);
+    VSCALE_TRACE_COUNTER(machine_.Now(), TraceCategory::kVscale,
+                         "extendability_nvcpus", d->id(),
+                         results[i].optimal_vcpus);
   }
   machine_.ResetConsumptionWindow();
   if (on_pass) {

@@ -1,5 +1,8 @@
 #include "src/workloads/testbed.h"
 
+#include "src/base/metrics_registry.h"
+#include "src/metrics/run_metrics.h"
+
 namespace vscale {
 
 const char* ToString(Policy p) {
@@ -82,9 +85,18 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
       }
     }
   }
+
+  // Expose the canonical statistics by name. The prefix separates policies when one
+  // process runs several testbeds; same-policy reruns overwrite (last run wins).
+  RegisterMachineMetrics(MetricsRegistry::Global(), *machine_,
+                         SanitizeMetricName(ToString(config_.policy)) + ".");
 }
 
-Testbed::~Testbed() = default;
+Testbed::~Testbed() {
+  // Gauges registered above hold references into this machine: materialize their
+  // final values before teardown so later WriteCsv() calls stay valid.
+  MetricsRegistry::Global().FreezeGauges();
+}
 
 bool Testbed::RunUntil(const std::function<bool()>& stop, TimeNs deadline) {
   return sim().RunUntilCondition(stop, deadline);
