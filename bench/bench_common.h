@@ -15,6 +15,7 @@
 #include "src/base/metrics_registry.h"
 #include "src/base/table.h"
 #include "src/base/trace.h"
+#include "src/metrics/state_digest.h"
 #include "src/metrics/trace_export.h"
 #include "src/workloads/campaign.h"
 
@@ -29,6 +30,11 @@ namespace vscale {
 // VSCALE_TRACE_OUT=<path> and VSCALE_METRICS_OUT=<path>. With neither given this
 // is inert: the tracer stays disabled and runs are bit-identical to an untraced
 // binary. See docs/OBSERVABILITY.md.
+//
+// --digest (or VSCALE_DIGEST=1) prints the 64-bit FNV-1a digest of the run's
+// end state — every frozen metric, plus the recorded event count when tracing —
+// on exit. Re-running the same bench command must reprint the same digest;
+// docs/CHECKING.md describes the double-run determinism check built on this.
 class BenchTraceScope {
  public:
   BenchTraceScope(int argc, char** argv) {
@@ -38,11 +44,16 @@ class BenchTraceScope {
     if (const char* env = std::getenv("VSCALE_METRICS_OUT")) {
       metrics_path_ = env;
     }
+    if (std::getenv("VSCALE_DIGEST") != nullptr) {
+      want_digest_ = true;
+    }
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
         trace_path_ = argv[++i];
       } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
         metrics_path_ = argv[++i];
+      } else if (std::strcmp(argv[i], "--digest") == 0) {
+        want_digest_ = true;
       }
     }
     if (!trace_path_.empty()) {
@@ -73,11 +84,20 @@ class BenchTraceScope {
         std::fprintf(stderr, "metrics: cannot open %s\n", metrics_path_.c_str());
       }
     }
+    if (want_digest_) {
+      StateDigest digest;
+      digest.AbsorbRegistry(MetricsRegistry::Global());
+      if (!trace_path_.empty()) {
+        digest.Absorb(static_cast<uint64_t>(GlobalTracer().size()));
+      }
+      std::printf("digest %s\n", digest.Hex().c_str());
+    }
   }
 
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  bool want_digest_ = false;
 };
 
 inline std::vector<uint64_t> BenchSeeds() {

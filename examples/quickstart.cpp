@@ -3,10 +3,13 @@
 // delay (VM waiting time) and IPI load.
 //
 //   $ ./examples/quickstart [app] [vcpus] [--trace out.json] [--metrics out.csv]
+//                           [--digest]
 //
 // --trace records both runs into the flight recorder and writes a Chrome trace_event
 // JSON file (open it in ui.perfetto.dev); --metrics dumps the named counter/gauge
-// registry as CSV. See docs/OBSERVABILITY.md.
+// registry as CSV (docs/OBSERVABILITY.md). --digest prints the 64-bit state
+// digest of the pair of runs: identical invocations must print identical
+// digests, in every build flavour (docs/CHECKING.md).
 //
 // Demonstrates the core public API: Testbed (machine + guests + vScale wiring),
 // OmpApp (workload), and the metric snapshot helpers.
@@ -22,6 +25,7 @@
 #include "src/base/table.h"
 #include "src/base/trace.h"
 #include "src/metrics/run_metrics.h"
+#include "src/metrics/state_digest.h"
 #include "src/metrics/trace_export.h"
 #include "src/workloads/omp_app.h"
 #include "src/workloads/testbed.h"
@@ -36,7 +40,7 @@ struct RunOutcome {
 };
 
 RunOutcome RunOnce(vscale::Policy policy, const std::string& app_name, int vcpus,
-                   uint64_t seed) {
+                   uint64_t seed, vscale::StateDigest* digest) {
   using namespace vscale;
   TestbedConfig cfg;
   cfg.policy = policy;
@@ -55,6 +59,12 @@ RunOutcome RunOnce(vscale::Policy policy, const std::string& app_name, int vcpus
       bed.RunUntil([&] { return app.done(); }, Seconds(600));
   const GuestCounters delta = SnapshotCounters(bed.primary()) - before;
 
+  if (digest != nullptr) {
+    digest->Absorb(app.duration());
+    digest->AbsorbMachine(bed.machine());
+    digest->AbsorbGuest(bed.primary());
+  }
+
   RunOutcome out;
   out.finished = finished;
   out.duration = app.duration();
@@ -68,16 +78,20 @@ RunOutcome RunOnce(vscale::Policy policy, const std::string& app_name, int vcpus
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  bool want_digest = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 || std::strcmp(argv[i], "--metrics") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "usage: quickstart [app] [vcpus] [--trace out.json] "
-                             "[--metrics out.csv]\n%s requires a path\n", argv[i]);
+                             "[--metrics out.csv] [--digest]\n%s requires a path\n",
+                     argv[i]);
         return 2;
       }
       (std::strcmp(argv[i], "--trace") == 0 ? trace_path : metrics_path) = argv[i + 1];
       ++i;
+    } else if (std::strcmp(argv[i], "--digest") == 0) {
+      want_digest = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -95,8 +109,10 @@ int main(int argc, char** argv) {
   std::printf("vScale quickstart: NPB '%s' on a %d-vCPU VM, 2 vCPUs per pCPU\n\n",
               app.c_str(), vcpus);
 
-  const RunOutcome base = RunOnce(vscale::Policy::kBaseline, app, vcpus, 42);
-  const RunOutcome vs = RunOnce(vscale::Policy::kVscale, app, vcpus, 42);
+  vscale::StateDigest digest;
+  vscale::StateDigest* d = want_digest ? &digest : nullptr;
+  const RunOutcome base = RunOnce(vscale::Policy::kBaseline, app, vcpus, 42, d);
+  const RunOutcome vs = RunOnce(vscale::Policy::kVscale, app, vcpus, 42, d);
 
   // Export observability artifacts before printing the comparison: the two runs sit
   // back to back on one timeline (the tracer rebases the second run's timestamps).
@@ -121,6 +137,12 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "metrics: cannot open %s\n", metrics_path.c_str());
     }
+  }
+
+  if (want_digest) {
+    // End-of-run registry state folds in, so metric drift also changes the digest.
+    digest.AbsorbRegistry(vscale::MetricsRegistry::Global());
+    std::printf("digest %s\n", digest.Hex().c_str());
   }
 
   vscale::TextTable table({"config", "exec time (s)", "VM wait (s)", "vIPIs/s/vCPU"});

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/base/check.h"
 #include "src/base/log.h"
 #include "src/base/trace.h"
 
@@ -236,6 +237,9 @@ void GuestKernel::ArmTickIfNeeded(GuestCpu& c) {
 }
 
 void GuestKernel::HandleTick(GuestCpu& c) {
+#if VSCALE_CHECKED
+  CheckKernelInvariants();
+#endif
   const TimeNs now = hv_.Now();
   ++c.stats.timer_ints;
   c.pending_kernel_ns += cost_.guest_tick_cost;
@@ -452,6 +456,142 @@ void GuestKernel::EvacuateCpu(GuestCpu& c) {
                            domain_.id(), c.id, -1, "moved",
                            static_cast<int64_t>(to_move.size()));
 }
+
+// ---------------------------------------------------------------------------
+// Invariant checking (VSCALE_CHECKED builds; see docs/CHECKING.md)
+// ---------------------------------------------------------------------------
+
+#if VSCALE_CHECKED
+void GuestKernel::CheckKernelInvariants() {
+  // --- run queues & dispatch state ---
+  for (const auto& c : cpus_) {
+    if (c.current != nullptr) {
+      VS_INVARIANT(c.current->state == ThreadState::kRunning,
+                   "dom %d cpu %d current thread '%s' in state %d, not RUNNING",
+                   domain_.id(), c.id, c.current->name().c_str(),
+                   static_cast<int>(c.current->state));
+      VS_INVARIANT(c.current->cpu == c.id,
+                   "dom %d cpu %d current thread '%s' claims cpu %d", domain_.id(),
+                   c.id, c.current->name().c_str(), c.current->cpu);
+    }
+    bool seen_fair = false;
+    TimeNs prev_vruntime = 0;
+    for (const GuestThread* t : c.runq) {
+      VS_INVARIANT(t->state == ThreadState::kRunnable,
+                   "dom %d cpu %d runq holds thread '%s' in state %d, not RUNNABLE",
+                   domain_.id(), c.id, t->name().c_str(),
+                   static_cast<int>(t->state));
+      VS_INVARIANT(t->cpu == c.id,
+                   "dom %d cpu %d runq holds thread '%s' whose cpu field says %d",
+                   domain_.id(), c.id, t->name().c_str(), t->cpu);
+      if (t->rt) {
+        VS_INVARIANT(!seen_fair,
+                     "dom %d cpu %d runq interleaves RT thread '%s' behind fair "
+                     "threads",
+                     domain_.id(), c.id, t->name().c_str());
+      } else {
+        VS_INVARIANT(!seen_fair || t->vruntime >= prev_vruntime,
+                     "dom %d cpu %d runq not vruntime-sorted at thread '%s'",
+                     domain_.id(), c.id, t->name().c_str());
+        seen_fair = true;
+        prev_vruntime = t->vruntime;
+      }
+    }
+    // Quiescence (paper Algorithm 2): once a frozen vCPU has drained and idle-blocked
+    // at the hypervisor, no migratable work may sit on it — a runnable thread there
+    // would never run again (frozen vCPUs take no ticks and no pulls target them).
+    const Vcpu& v = domain_.vcpu(c.id);
+    if (c.frozen && !c.evacuate_pending && c.current == nullptr &&
+        v.state == VcpuState::kBlocked && !v.polling) {
+      for (const GuestThread* t : c.runq) {
+        VS_INVARIANT(!t->migratable(),
+                     "frozen dom %d cpu %d still queues migratable thread '%s' "
+                     "after its evacuation completed",
+                     domain_.id(), c.id, t->name().c_str());
+      }
+    }
+  }
+  VS_INVARIANT(total_group_power_ == 1024 * std::max(1, online_cpus()),
+               "dom %d group power %d disagrees with %d online cpus", domain_.id(),
+               total_group_power_, online_cpus());
+
+  // --- futex wait/wake pairing & wait-queue membership ---
+  // Every waiter must appear on exactly the queue its op says it waits on, and on at
+  // most one queue overall; a lost or doubled wakeup shows up here as a count != 1.
+  std::vector<int> queued(threads_.size(), 0);
+  auto note = [&](const GuestThread* t) { ++queued[static_cast<size_t>(t->id())]; };
+  for (const auto& b : barriers_) {
+    VS_INVARIANT(b.arrived >= 0 && b.arrived < b.parties,
+                 "dom %d barrier arrived=%d outside [0, %d) — missed release",
+                 domain_.id(), b.arrived, b.parties);
+    VS_INVARIANT(static_cast<int>(b.spinners.size() + b.sleepers.size()) <=
+                     b.parties,
+                 "dom %d barrier holds %zu waiters for %d parties", domain_.id(),
+                 b.spinners.size() + b.sleepers.size(), b.parties);
+    for (const GuestThread* t : b.sleepers) {
+      VS_INVARIANT(t->state == ThreadState::kBlocked,
+                   "dom %d barrier sleeper '%s' in state %d, not BLOCKED (futex "
+                   "wait/wake mismatch)",
+                   domain_.id(), t->name().c_str(), static_cast<int>(t->state));
+      note(t);
+    }
+    for (const GuestThread* t : b.spinners) {
+      VS_INVARIANT(t->state != ThreadState::kBlocked,
+                   "dom %d barrier spinner '%s' is BLOCKED — it can never notice "
+                   "the release",
+                   domain_.id(), t->name().c_str());
+      note(t);
+    }
+  }
+  for (const auto& m : mutexes_) {
+    for (const GuestThread* t : m.waiters) {
+      VS_INVARIANT(t != m.holder,
+                   "dom %d mutex holder '%s' also queued as its own waiter",
+                   domain_.id(), t->name().c_str());
+      VS_INVARIANT(t->state == ThreadState::kBlocked,
+                   "dom %d mutex waiter '%s' in state %d, not BLOCKED (futex "
+                   "wait/wake mismatch)",
+                   domain_.id(), t->name().c_str(), static_cast<int>(t->state));
+      note(t);
+    }
+  }
+  for (const auto& cv : conds_) {
+    for (const GuestThread* t : cv.waiters) {
+      VS_INVARIANT(t->state == ThreadState::kBlocked,
+                   "dom %d condvar waiter '%s' in state %d, not BLOCKED",
+                   domain_.id(), t->name().c_str(), static_cast<int>(t->state));
+      note(t);
+    }
+  }
+  for (size_t i = 0; i < kernel_locks_.size(); ++i) {
+    const KernelLock& kl = kernel_locks_[i];
+    if (kl.holder != nullptr) {
+      VS_INVARIANT(kl.holder->held_lock == static_cast<int>(i),
+                   "dom %d kernel lock %zu held by '%s' whose held_lock says %d",
+                   domain_.id(), i, kl.holder->name().c_str(),
+                   kl.holder->held_lock);
+    }
+    for (const GuestThread* t : kl.queue) {
+      VS_INVARIANT(t->waiting_lock == static_cast<int>(i),
+                   "dom %d kernel lock %zu queues '%s' whose waiting_lock says %d",
+                   domain_.id(), i, t->name().c_str(), t->waiting_lock);
+      note(t);
+    }
+  }
+  for (const auto& f : spin_flags_) {
+    for (const GuestThread* t : f.spinners) {
+      note(t);
+    }
+  }
+  for (const auto& t : threads_) {
+    VS_INVARIANT(queued[static_cast<size_t>(t->id())] <= 1,
+                 "dom %d thread '%s' sits on %d wait queues at once (double "
+                 "wait/requeue)",
+                 domain_.id(), t->name().c_str(),
+                 queued[static_cast<size_t>(t->id())]);
+  }
+}
+#endif  // VSCALE_CHECKED
 
 // ---------------------------------------------------------------------------
 // Linux CPU hotplug baseline (stop_machine)

@@ -89,6 +89,7 @@ class GuestKernel : public GuestOs {
   const CostModel& cost() const { return cost_; }
   int n_cpus() const { return static_cast<int>(cpus_.size()); }
   GuestCpu& cpu(int id) { return cpus_[static_cast<size_t>(id)]; }
+  const GuestCpu& cpu(int id) const { return cpus_[static_cast<size_t>(id)]; }
   int online_cpus() const;
   TimeNs NowNs() const { return hv_.Now(); }
 
@@ -218,6 +219,16 @@ class GuestKernel : public GuestOs {
 
   // sched_domain/group "power" bookkeeping (updated on freeze; consulted by balance).
   void UpdateGroupPower();
+
+  // Kernel-wide invariant sweep (VSCALE_CHECKED builds only; defined and called under
+  // the gate; docs/CHECKING.md). Read-only checks:
+  //  * run-queue consistency (entries RUNNABLE on the right CPU, rt-first then
+  //    vruntime order; `current` RUNNING; group power matches the freeze mask);
+  //  * no migratable runnable thread left on a fully frozen (hv-blocked) vCPU —
+  //    the quiescence guarantee of paper Algorithm 2;
+  //  * futex wait/wake pairing: wait-queue members are BLOCKED, appear on at most
+  //    one queue, lock holders/spinners agree with the locks' own bookkeeping.
+  void CheckKernelInvariants();
 
   HvServices& hv_;
   Simulator& sim_;

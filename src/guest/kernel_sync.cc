@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/base/check.h"
 #include "src/base/trace.h"
 #include "src/guest/kernel.h"
 
@@ -308,6 +309,10 @@ void GuestKernel::OnThreadBoundary(GuestCpu& c, GuestThread& t) {
 void GuestKernel::DoBarrierArrive(GuestCpu& c, GuestThread& t) {
   GompBarrier& b = barrier(t.op.obj);
   t.op.value = b.generation;  // remember which generation we wait for
+  VS_INVARIANT(b.arrived < b.parties,
+               "dom %d thread '%s' arrives at a barrier already holding %d/%d "
+               "arrivals — a release was lost",
+               domain_.id(), t.name().c_str(), b.arrived, b.parties);
   ++b.arrived;
   if (b.arrived >= b.parties) {
     // Last arrival: release everyone.
@@ -542,6 +547,9 @@ void GuestKernel::GrantKernelLock(KernelLock& kl, GuestThread& t) {
 void GuestKernel::ReleaseKernelLock(int lock_id, GuestThread& releaser) {
   KernelLock& kl = kernel_lock(lock_id);
   assert(kl.holder == &releaser);
+  VS_INVARIANT(kl.holder == &releaser,
+               "dom %d kernel lock %d released by '%s' which does not hold it",
+               domain_.id(), lock_id, releaser.name().c_str());
   kl.holder = nullptr;
   releaser.held_lock = -1;
   if (!kl.queue.empty()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/base/check.h"
 #include "src/base/log.h"
 #include "src/base/trace.h"
 
@@ -371,6 +372,9 @@ void Machine::MaybePreempt(Pcpu& p) {
 // ---------------------------------------------------------------------------
 
 void Machine::HvTick() {
+#if VSCALE_CHECKED
+  CheckSchedulerInvariants();
+#endif
   for (auto& p : pcpus_) {
     if (p.current == nullptr) {
       // Tickless idle: a halted pCPU does not poll for work — it waits for a wakeup
@@ -433,12 +437,20 @@ void Machine::Accounting() {
     }
   }
 
+#if VSCALE_CHECKED
+  // Credit conservation (Algorithm 1's input side): one accounting pass may hand out
+  // at most the pool's capacity, however the weights shake out.
+  TimeNs granted_total = 0;
+#endif
   for (const auto& d : domains_) {
     const int n_active = std::max(1, d->n_active_vcpus());
     if (is_active(*d) && total_weight > 0) {
       const TimeNs dom_credit = static_cast<TimeNs>(
           static_cast<double>(capacity) * static_cast<double>(effective_weight(*d)) /
           static_cast<double>(total_weight));
+#if VSCALE_CHECKED
+      granted_total += dom_credit;
+#endif
       const TimeNs share = dom_credit / n_active;
       for (int i = 0; i < d->n_vcpus(); ++i) {
         Vcpu& v = d->vcpu(i);
@@ -459,6 +471,11 @@ void Machine::Accounting() {
     d->capped_out = false;
     d->consumed_in_acct_window = 0;
   }
+  VS_INVARIANT(granted_total <= capacity + static_cast<TimeNs>(domains_.size()),
+               "accounting granted %lld ns of credit but pool capacity is only "
+               "%lld ns per period",
+               static_cast<long long>(granted_total),
+               static_cast<long long>(capacity));
 
   if (VSCALE_TRACE_ACTIVE()) {
     // One credit-balance sample per domain per accounting pass: the entitlement side
@@ -489,6 +506,74 @@ void Machine::Accounting() {
     MaybePreempt(p);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Invariant checking (VSCALE_CHECKED builds; see docs/CHECKING.md)
+// ---------------------------------------------------------------------------
+
+#if VSCALE_CHECKED
+void Machine::CheckSchedulerInvariants() {
+  const TimeNs period = config_.cost.hv_accounting_period;
+  // Legal deficit: the clamp floor (-period), one further period burnt before the
+  // next accounting pass, plus ticks of unsettled overshoot. A vCPU frozen (or
+  // hotplug-halted) mid-deficit is skipped by the clamp, keeps that balance, and
+  // after unfreeze can burn one more period before a pass clamps it again — so
+  // the deepest legitimate balance is roughly two missed clamps deep.
+  const TimeNs credit_floor = -(4 * period + 2 * config_.cost.hv_tick_period);
+  for (const auto& p : pcpus_) {
+    if (p.current != nullptr) {
+      VS_INVARIANT(p.current->state == VcpuState::kRunning,
+                   "pcpu %d runs dom %d vcpu %d which is in state %d, not RUNNING",
+                   p.id, p.current->domain()->id(), p.current->id(),
+                   static_cast<int>(p.current->state));
+      VS_INVARIANT(p.current->pcpu == p.id,
+                   "pcpu %d runs dom %d vcpu %d whose pcpu field says %d", p.id,
+                   p.current->domain()->id(), p.current->id(), p.current->pcpu);
+    }
+    for (size_t i = 0; i < p.runq.size(); ++i) {
+      const Vcpu* v = p.runq[i];
+      VS_INVARIANT(v->state == VcpuState::kRunnable,
+                   "dom %d vcpu %d queued on pcpu %d in state %d, not RUNNABLE",
+                   v->domain()->id(), v->id(), p.id, static_cast<int>(v->state));
+      VS_INVARIANT(v->pcpu == p.id,
+                   "dom %d vcpu %d queued on pcpu %d but its pcpu field says %d",
+                   v->domain()->id(), v->id(), p.id, v->pcpu);
+      VS_INVARIANT(i == 0 || p.runq[i - 1]->priority <= v->priority,
+                   "runq of pcpu %d is not priority-sorted at position %zu", p.id, i);
+    }
+  }
+  for (const auto& d : domains_) {
+    for (int i = 0; i < d->n_vcpus(); ++i) {
+      const Vcpu& v = d->vcpu(i);
+      if (v.state == VcpuState::kRunning) {
+        // At most one RUNNING vCPU per pCPU: every RUNNING vCPU must be the single
+        // `current` of the pCPU it claims — two RUNNING vCPUs cannot share one.
+        VS_INVARIANT(v.pcpu >= 0 && v.pcpu < n_pcpus(),
+                     "dom %d vcpu %d RUNNING on out-of-range pcpu %d", d->id(), i,
+                     v.pcpu);
+        VS_INVARIANT(pcpus_[static_cast<size_t>(v.pcpu)].current == &v,
+                     "dom %d vcpu %d claims to RUN on pcpu %d but is not its current",
+                     d->id(), i, v.pcpu);
+      }
+      // BOOST legality: BOOST exists to accelerate a wakeup toward a pCPU; a vCPU
+      // that went back to sleep must have been demoted on the way out.
+      VS_INVARIANT(v.state != VcpuState::kBlocked ||
+                       v.priority != CreditPriority::kBoost,
+                   "dom %d vcpu %d is BLOCKED yet still holds BOOST priority",
+                   d->id(), i);
+      VS_INVARIANT(!v.polling || v.state == VcpuState::kBlocked,
+                   "dom %d vcpu %d polls port %d but is in state %d, not BLOCKED",
+                   d->id(), i, v.poll_port, static_cast<int>(v.state));
+      VS_INVARIANT(v.credit_ns <= period && v.credit_ns >= credit_floor,
+                   "dom %d vcpu %d credit balance %lld ns outside [%lld, %lld] — "
+                   "credit leak or external corruption",
+                   d->id(), i, static_cast<long long>(v.credit_ns),
+                   static_cast<long long>(credit_floor),
+                   static_cast<long long>(period));
+    }
+  }
+}
+#endif  // VSCALE_CHECKED
 
 // ---------------------------------------------------------------------------
 // Hypercall surface

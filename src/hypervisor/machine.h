@@ -59,6 +59,7 @@ class Machine : public HvServices {
   Machine& operator=(const Machine&) = delete;
 
   Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
   const MachineConfig& config() const { return config_; }
   const CostModel& cost() const { return config_.cost; }
 
@@ -154,6 +155,15 @@ class Machine : public HvServices {
 
   void HvTick();       // every cost.hv_tick_period: priority refresh + preempt checks
   void Accounting();   // every cost.hv_accounting_period: credit distribution
+
+  // Whole-machine scheduler invariant sweep (VSCALE_CHECKED builds only; defined and
+  // called under the gate). Read-only: per docs/CHECKING.md it polices
+  //  * pCPU/vCPU dispatch consistency (at most one RUNNING vCPU per pCPU, and every
+  //    RUNNING vCPU is the `current` of the pCPU it points at);
+  //  * run-queue sanity (entries RUNNABLE, on the right queue, priority-sorted);
+  //  * BOOST/UNDER/OVER legality and credit-balance bounds (paper Algorithm 1's
+  //    credit flow, clamped to ±accounting period by csched_acct).
+  void CheckSchedulerInvariants();
 
   void DrainPendingPorts(Vcpu& v);
 

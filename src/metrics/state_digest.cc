@@ -1,0 +1,100 @@
+#include "src/metrics/state_digest.h"
+
+#include <cstdio>
+
+#include "src/base/metrics_registry.h"
+#include "src/guest/kernel.h"
+#include "src/guest/thread.h"
+#include "src/hypervisor/domain.h"
+#include "src/hypervisor/machine.h"
+
+namespace vscale {
+
+namespace {
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+}  // namespace
+
+StateDigest& StateDigest::Absorb(uint64_t v) {
+  // FNV-1a over the 8 little-endian bytes of v; endianness is fixed by shifting,
+  // not by memory layout, so the digest is host-independent.
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= (v >> (8 * i)) & 0xffu;
+    h_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+StateDigest& StateDigest::Absorb(const std::string& s) {
+  for (unsigned char c : s) {
+    h_ ^= c;
+    h_ *= kFnvPrime;
+  }
+  // Terminator so {"ab","c"} and {"a","bc"} differ.
+  h_ ^= 0xffu;
+  h_ *= kFnvPrime;
+  return *this;
+}
+
+StateDigest& StateDigest::AbsorbMachine(const Machine& machine) {
+  Absorb(machine.sim().Now());
+  Absorb(machine.sim().events_processed());
+  Absorb(machine.context_switches());
+  Absorb(machine.n_pcpus());
+  for (PcpuId p = 0; p < machine.n_pcpus(); ++p) Absorb(machine.PcpuIdleTime(p));
+  for (const auto& dom : machine.domains()) {
+    Absorb(dom->name());
+    Absorb(dom->TotalRuntime());
+    Absorb(dom->TotalWait());
+    for (VcpuId i = 0; i < dom->n_vcpus(); ++i) {
+      const Vcpu& v = dom->vcpu(i);
+      Absorb(v.total_runtime);
+      Absorb(v.total_wait);
+      Absorb(v.total_blocked);
+      Absorb(v.preemptions);
+      Absorb(v.wakeups);
+      Absorb(v.credit_ns);
+      Absorb(static_cast<int>(v.state));
+      Absorb(static_cast<int>(v.frozen));
+    }
+  }
+  return *this;
+}
+
+StateDigest& StateDigest::AbsorbGuest(const GuestKernel& kernel) {
+  Absorb(kernel.freeze_mask());
+  Absorb(kernel.n_cpus());
+  for (int i = 0; i < kernel.n_cpus(); ++i) {
+    const GuestCpuStats& s = kernel.cpu(i).stats;
+    Absorb(s.timer_ints);
+    Absorb(s.resched_ipis);
+    Absorb(s.io_irqs);
+    Absorb(s.guest_switches);
+  }
+  for (const auto& t : kernel.threads()) {
+    Absorb(t->name());
+    Absorb(t->cpu_time);
+    Absorb(t->spin_time);
+    Absorb(t->wait_time);
+    Absorb(t->migrations);
+    Absorb(t->wakeups);
+    Absorb(t->vruntime);
+  }
+  return *this;
+}
+
+StateDigest& StateDigest::AbsorbRegistry(const MetricsRegistry& registry) {
+  for (const auto& [name, value] : registry.Collect()) {
+    Absorb(name);
+    Absorb(value);
+  }
+  return *this;
+}
+
+std::string StateDigest::Hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h_));
+  return std::string(buf);
+}
+
+}  // namespace vscale

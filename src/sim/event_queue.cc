@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/base/check.h"
 #include "src/base/trace.h"
 
 namespace vscale {
@@ -49,6 +50,24 @@ bool Simulator::Step() {
   if (!PopNext(entry)) {
     return false;
   }
+  // Virtual time is monotonic and the tie-break is stable: events at the same
+  // timestamp fire in schedule order. Every replay guarantee rests on these two.
+  VS_INVARIANT(entry.when >= now_,
+               "event %llu fires at %lld ns but Now() is already %lld ns",
+               static_cast<unsigned long long>(entry.id),
+               static_cast<long long>(entry.when), static_cast<long long>(now_));
+  VS_INVARIANT(entry.when > last_fired_when_ ||
+                   (entry.when == last_fired_when_ && entry.id > last_fired_id_),
+               "tie-break regression: event %llu at %lld ns fired after event %llu "
+               "at %lld ns",
+               static_cast<unsigned long long>(entry.id),
+               static_cast<long long>(entry.when),
+               static_cast<unsigned long long>(last_fired_id_),
+               static_cast<long long>(last_fired_when_));
+#if VSCALE_CHECKED
+  last_fired_when_ = entry.when;
+  last_fired_id_ = entry.id;
+#endif
   now_ = entry.when;
   auto it = callbacks_.find(entry.id);
   assert(it != callbacks_.end());

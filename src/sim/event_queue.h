@@ -5,17 +5,21 @@
 // cancelled. Ties are broken by schedule order, so runs are fully deterministic.
 //
 // The two-level scheduler simulation cancels and reschedules events aggressively (every
-// settle of a running vCPU), so cancellation is O(1) amortized: cancelled ids go into a
-// hash set and are skipped on pop.
+// settle of a running vCPU), so cancellation stays cheap: cancelled ids go into a
+// key-ordered set and are skipped on pop. The bookkeeping containers are deliberately
+// *ordered* (std::map/std::set keyed by the monotonically assigned EventId), never
+// hashed: the simulator is the root of the repo's bit-determinism argument, and
+// unordered containers are the classic way iteration-order nondeterminism sneaks into
+// a DES (tools/det_lint enforces this tree-wide).
 
 #ifndef VSCALE_SRC_SIM_EVENT_QUEUE_H_
 #define VSCALE_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "src/base/time.h"
@@ -77,10 +81,16 @@ class Simulator {
   TimeNs now_ = 0;
   EventId next_id_ = 1;
   std::priority_queue<Entry> queue_;
-  // fn storage parallel to queue entries; erased on fire/cancel-collection.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  // fn storage parallel to queue entries; erased on fire/cancel-collection. Keyed by
+  // the sequential EventId, so lookups are O(log pending) and iteration (never needed,
+  // but cheap insurance) is deterministic.
+  std::map<EventId, std::function<void()>> callbacks_;
+  std::set<EventId> cancelled_;
   uint64_t events_processed_ = 0;
+  // Checked builds verify the (when, id) firing order is strictly increasing — the
+  // stable tie-break every replay relies on. Dead weight otherwise.
+  TimeNs last_fired_when_ = 0;
+  EventId last_fired_id_ = 0;
 };
 
 // Re-schedules itself at a fixed period until stopped. The callback observes Now().

@@ -154,6 +154,43 @@ TEST(SimulatorPropertyTest, RandomScheduleCancelConsistency) {
   }
 }
 
+// Regression for the ordered-container bookkeeping (callbacks_/cancelled_ are
+// std::map/std::set, never hashed): heavily interleaved schedule/cancel traffic
+// must replay the exact same firing order run after run. A hashed container
+// would still pass the set-consistency property above while silently reordering
+// equal-time events between runs.
+TEST(SimulatorPropertyTest, InterleavedScheduleCancelReplaysIdentically) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    Rng rng(seed);
+    std::vector<std::pair<TimeNs, int>> fired;
+    std::vector<Simulator::EventId> ids;
+    for (int i = 0; i < 300; ++i) {
+      // Coarse buckets force many exact time ties, the tie-break's hard case.
+      const TimeNs when = Microseconds(1 + static_cast<TimeNs>(rng.NextBelow(20)));
+      const int tag = i;
+      ids.push_back(sim.ScheduleAt(
+          when, [&fired, &sim, tag] { fired.emplace_back(sim.Now(), tag); }));
+      if (rng.Chance(0.4)) {
+        sim.Cancel(ids[rng.NextBelow(ids.size())]);
+      }
+      if (rng.Chance(0.1)) {
+        sim.Cancel(ids[rng.NextBelow(ids.size())]);  // double-cancel candidates
+      }
+    }
+    sim.RunUntilIdle();
+    return fired;
+  };
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto first = run(seed);
+    const auto second = run(seed);
+    ASSERT_EQ(first, second) << "seed " << seed;
+    for (size_t i = 1; i < first.size(); ++i) {
+      EXPECT_LE(first[i - 1].first, first[i].first) << "seed " << seed;
+    }
+  }
+}
+
 TEST(PeriodicTaskTest, FiresAtFixedPeriod) {
   Simulator sim;
   std::vector<TimeNs> fires;

@@ -1,0 +1,173 @@
+// digest_run: the double-run determinism harness (docs/CHECKING.md).
+//
+// Runs a named scenario — a short but representative testbed simulation — and
+// prints the 64-bit FNV-1a StateDigest over everything the schedule touched:
+// machine counters, guest counters, and the metrics registry. Two runs with
+// the same scenario and seed must print the same digest in every build flavor
+// (Release, sanitizers, VSCALE_CHECKED on or off); anything else means the DES
+// replay is not bit-identical and figure regeneration cannot be trusted.
+//
+//   digest_run --selftest            run every scenario twice in-process and
+//                                    fail on any digest mismatch (ctest entry)
+//   digest_run <scenario> [--seed N] run once, print "scenario seed digest"
+//   digest_run --list                list scenario names
+//
+// Scenarios mirror the repo's entry points: `quickstart` is the README example
+// (baseline + vScale), `fig8` the spin-heavy bt run behind the Fig. 8 bench,
+// `fig9` the cg wait-time run behind the Fig. 9 bench.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/metrics_registry.h"
+#include "src/base/time.h"
+#include "src/metrics/state_digest.h"
+#include "src/workloads/omp_app.h"
+#include "src/workloads/testbed.h"
+
+namespace {
+
+using namespace vscale;
+
+// One policy/app run: builds a consolidated testbed, drives the app to
+// completion, absorbs live machine/guest state, then lets the Testbed
+// destructor freeze its gauges into the global registry.
+void RunCell(Policy policy, const char* app_name, int64_t spin_count,
+             int64_t intervals, uint64_t seed, StateDigest* digest) {
+  TestbedConfig cfg;
+  cfg.policy = policy;
+  cfg.primary_vcpus = 4;
+  cfg.pool_pcpus = 4;  // 2 desktop VMs keep the pool consolidated
+  cfg.seed = seed;
+  Testbed bed(cfg);
+  OmpAppConfig app_cfg = NpbProfile(app_name, cfg.primary_vcpus, spin_count);
+  app_cfg.intervals = intervals;
+  OmpApp app(bed.primary(), app_cfg, seed ^ 0x9e3779b97f4a7c15ull);
+  bed.sim().RunUntil(Milliseconds(200));
+  app.Start();
+  bed.RunUntil([&] { return app.done(); }, Seconds(120));
+  digest->Absorb(static_cast<uint64_t>(app.done() ? 1 : 0));
+  digest->Absorb(app.duration());
+  digest->AbsorbMachine(bed.machine());
+  digest->AbsorbGuest(bed.primary());
+}
+
+struct Scenario {
+  const char* name;
+  const char* what;
+  void (*run)(uint64_t seed, StateDigest* digest);
+};
+
+const Scenario kScenarios[] = {
+    {"quickstart", "README example: lu under baseline then vScale",
+     [](uint64_t seed, StateDigest* d) {
+       RunCell(Policy::kBaseline, "lu", kSpinCountDefault, 40, seed, d);
+       RunCell(Policy::kVscale, "lu", kSpinCountDefault, 40, seed, d);
+     }},
+    {"fig8", "spin-heavy bt with OMP_WAIT_POLICY=ACTIVE under vScale",
+     [](uint64_t seed, StateDigest* d) {
+       RunCell(Policy::kVscale, "bt", kSpinCountActive, 30, seed, d);
+     }},
+    {"fig9", "cg wait time, baseline+pvlock vs vScale+pvlock",
+     [](uint64_t seed, StateDigest* d) {
+       RunCell(Policy::kBaselinePvlock, "cg", kSpinCountDefault, 30, seed, d);
+       RunCell(Policy::kVscalePvlock, "cg", kSpinCountDefault, 30, seed, d);
+     }},
+};
+
+// Full scenario digest: fresh global registry, the scenario's runs, then the
+// frozen end-of-run registry contents.
+uint64_t DigestScenario(const Scenario& s, uint64_t seed) {
+  MetricsRegistry::Global().Clear();
+  StateDigest digest;
+  s.run(seed, &digest);
+  digest.AbsorbRegistry(MetricsRegistry::Global());
+  MetricsRegistry::Global().Clear();
+  return digest.value();
+}
+
+std::string Hex(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+int SelfTest(uint64_t seed) {
+  int failures = 0;
+  for (const Scenario& s : kScenarios) {
+    const uint64_t first = DigestScenario(s, seed);
+    const uint64_t second = DigestScenario(s, seed);
+    if (first != second) {
+      std::fprintf(stderr,
+                   "digest_run: %s: NOT deterministic: run1=%s run2=%s\n",
+                   s.name, Hex(first).c_str(), Hex(second).c_str());
+      ++failures;
+    } else {
+      std::printf("digest_run: %s seed=%llu digest=%s (two runs identical)\n",
+                  s.name, static_cast<unsigned long long>(seed),
+                  Hex(first).c_str());
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "digest_run: selftest FAILED (%d scenario(s))\n",
+                 failures);
+    return 1;
+  }
+  std::printf("digest_run: selftest OK (%zu scenarios, checked=%s)\n",
+              sizeof(kScenarios) / sizeof(kScenarios[0]),
+#if VSCALE_CHECKED
+              "on"
+#else
+              "off"
+#endif
+  );
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 7;
+  const char* scenario = nullptr;
+  bool selftest = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selftest") == 0) {
+      selftest = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      for (const Scenario& s : kScenarios) {
+        std::printf("%-12s %s\n", s.name, s.what);
+      }
+      return 0;
+    } else if (argv[i][0] != '-' && scenario == nullptr) {
+      scenario = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: digest_run --selftest [--seed N] | "
+                   "digest_run <scenario> [--seed N] | digest_run --list\n");
+      return 2;
+    }
+  }
+  if (selftest) {
+    return SelfTest(seed);
+  }
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "digest_run: need a scenario name or --selftest\n");
+    return 2;
+  }
+  for (const Scenario& s : kScenarios) {
+    if (std::strcmp(s.name, scenario) == 0) {
+      std::printf("%s %llu %s\n", s.name,
+                  static_cast<unsigned long long>(seed),
+                  Hex(DigestScenario(s, seed)).c_str());
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "digest_run: unknown scenario '%s' (try --list)\n",
+               scenario);
+  return 2;
+}
