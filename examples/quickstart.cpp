@@ -3,13 +3,20 @@
 // delay (VM waiting time) and IPI load.
 //
 //   $ ./examples/quickstart [app] [vcpus] [--trace out.json] [--metrics out.csv]
-//                           [--digest]
+//                           [--digest] [--faults <plan>]
 //
 // --trace records both runs into the flight recorder and writes a Chrome trace_event
 // JSON file (open it in ui.perfetto.dev); --metrics dumps the named counter/gauge
 // registry as CSV (docs/OBSERVABILITY.md). --digest prints the 64-bit state
 // digest of the pair of runs: identical invocations must print identical
 // digests, in every build flavour (docs/CHECKING.md).
+//
+// --faults injects a deterministic fault plan (docs/FAULTS.md) into the vScale run
+// (the baseline has no control plane to fault). Try a daemon stall mid-run and watch
+// the watchdog trip, the VM get its safe floor back, and the daemon re-converge:
+//
+//   $ ./examples/quickstart lu 4 --faults 'stall@1s+2s'
+//   $ ./examples/quickstart lu 4 --faults 'chan-stale@500ms+1s;crash@2s+1s'
 //
 // Demonstrates the core public API: Testbed (machine + guests + vScale wiring),
 // OmpApp (workload), and the metric snapshot helpers.
@@ -24,6 +31,7 @@
 #include "src/base/metrics_registry.h"
 #include "src/base/table.h"
 #include "src/base/trace.h"
+#include "src/faults/fault_plan.h"
 #include "src/metrics/run_metrics.h"
 #include "src/metrics/state_digest.h"
 #include "src/metrics/trace_export.h"
@@ -37,15 +45,31 @@ struct RunOutcome {
   vscale::TimeNs wait;
   double ipi_rate;
   bool finished;
+  // Fault/recovery summary (vScale runs with a --faults plan only).
+  int64_t faults_started = 0;
+  int64_t read_retries = 0;
+  int64_t stale_held = 0;
+  int64_t degradations = 0;
+  int64_t resumes = 0;
+  int64_t watchdog_trips = 0;
+  int64_t crashes = 0;
+  int64_t restarts = 0;
+  bool degraded_at_end = false;
 };
 
 RunOutcome RunOnce(vscale::Policy policy, const std::string& app_name, int vcpus,
-                   uint64_t seed, vscale::StateDigest* digest) {
+                   uint64_t seed, vscale::StateDigest* digest,
+                   const vscale::FaultPlan& faults) {
   using namespace vscale;
   TestbedConfig cfg;
   cfg.policy = policy;
   cfg.primary_vcpus = vcpus;
   cfg.seed = seed;
+  // Faults only make sense where there is a control plane to harden; the baseline
+  // run stays clean so the comparison still shows vScale's healthy-path win.
+  if (PolicyUsesVscale(policy)) {
+    cfg.faults = faults;
+  }
   Testbed bed(cfg);
 
   OmpAppConfig app_cfg = NpbProfile(app_name, vcpus, kSpinCountActive);
@@ -70,6 +94,19 @@ RunOutcome RunOnce(vscale::Policy policy, const std::string& app_name, int vcpus
   out.duration = app.duration();
   out.wait = delta.domain_wait;
   out.ipi_rate = PerVcpuPerSecond(delta.resched_ipis, vcpus, app.duration());
+  if (bed.faults() != nullptr && bed.daemon() != nullptr) {
+    out.faults_started = bed.faults()->events_started();
+    out.read_retries = bed.daemon()->read_retries();
+    out.stale_held = bed.daemon()->stale_held_cycles();
+    out.degradations = bed.daemon()->degradations();
+    out.resumes = bed.daemon()->resumes();
+    out.crashes = bed.daemon()->crashes();
+    out.restarts = bed.daemon()->restarts();
+    out.degraded_at_end = bed.daemon()->degraded();
+    if (bed.watchdog() != nullptr) {
+      out.watchdog_trips = bed.watchdog()->trips();
+    }
+  }
   return out;
 }
 
@@ -79,12 +116,14 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   bool want_digest = false;
+  vscale::FaultPlan faults;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 || std::strcmp(argv[i], "--metrics") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "usage: quickstart [app] [vcpus] [--trace out.json] "
-                             "[--metrics out.csv] [--digest]\n%s requires a path\n",
+                             "[--metrics out.csv] [--digest] [--faults <plan>]\n"
+                             "%s requires a path\n",
                      argv[i]);
         return 2;
       }
@@ -92,6 +131,17 @@ int main(int argc, char** argv) {
       ++i;
     } else if (std::strcmp(argv[i], "--digest") == 0) {
       want_digest = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--faults requires a plan, e.g. 'stall@1s+2s'\n");
+        return 2;
+      }
+      std::string error;
+      if (!vscale::ParseFaultPlan(argv[i + 1], &faults, &error)) {
+        std::fprintf(stderr, "--faults: %s\n", error.c_str());
+        return 2;
+      }
+      ++i;
     } else {
       positional.push_back(argv[i]);
     }
@@ -111,8 +161,9 @@ int main(int argc, char** argv) {
 
   vscale::StateDigest digest;
   vscale::StateDigest* d = want_digest ? &digest : nullptr;
-  const RunOutcome base = RunOnce(vscale::Policy::kBaseline, app, vcpus, 42, d);
-  const RunOutcome vs = RunOnce(vscale::Policy::kVscale, app, vcpus, 42, d);
+  const RunOutcome base =
+      RunOnce(vscale::Policy::kBaseline, app, vcpus, 42, d, faults);
+  const RunOutcome vs = RunOnce(vscale::Policy::kVscale, app, vcpus, 42, d, faults);
 
   // Export observability artifacts before printing the comparison: the two runs sit
   // back to back on one timeline (the tracer rebases the second run's timestamps).
@@ -153,6 +204,23 @@ int main(int argc, char** argv) {
                 vscale::TextTable::Num(vscale::ToSeconds(vs.wait), 3),
                 vscale::TextTable::Num(vs.ipi_rate, 1)});
   table.Print();
+
+  if (!faults.empty()) {
+    std::printf("\nfault plan (%zu events, vScale run only): %lld injected; "
+                "daemon: %lld read retries, %lld stale-held cycles, %lld "
+                "degradations, %lld resumes, %lld crashes, %lld restarts; "
+                "watchdog: %lld trips; end state: %s\n",
+                faults.events.size(),
+                static_cast<long long>(vs.faults_started),
+                static_cast<long long>(vs.read_retries),
+                static_cast<long long>(vs.stale_held),
+                static_cast<long long>(vs.degradations),
+                static_cast<long long>(vs.resumes),
+                static_cast<long long>(vs.crashes),
+                static_cast<long long>(vs.restarts),
+                static_cast<long long>(vs.watchdog_trips),
+                vs.degraded_at_end ? "DEGRADED" : "healthy");
+  }
 
   if (!base.finished || !vs.finished) {
     std::printf("\nWARNING: a run hit the simulation deadline without finishing\n");

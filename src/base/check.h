@@ -63,6 +63,20 @@ namespace check_internal {
                                         int line, const char* fmt, ...);
 }  // namespace check_internal
 
+// Always-on counterpart of VS_INVARIANT for validating user-supplied
+// configuration (DaemonConfig, WatchdogConfig, ...): a nonsensical config is an
+// input error, not a simulation-state corruption, so it must be reported in every
+// build flavour — silently misbehaving in release while aborting in checked would
+// itself be a replay divergence. Dispatches through the same handler machinery, so
+// tests capture it exactly like an invariant.
+#define VS_REQUIRE(cond_, ...)                                                \
+  do {                                                                        \
+    if (!(cond_)) {                                                           \
+      ::vscale::check_internal::Fail(#cond_, __FILE__, __LINE__,              \
+                                     __VA_ARGS__);                            \
+    }                                                                         \
+  } while (0)
+
 #if VSCALE_CHECKED
 
 // True in builds that compile the invariant hooks; use to gate whole-state scan

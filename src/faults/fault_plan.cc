@@ -1,0 +1,180 @@
+#include "src/faults/fault_plan.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace vscale {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kChannelStale:
+      return "chan-stale";
+    case FaultKind::kChannelGarbled:
+      return "chan-garble";
+    case FaultKind::kChannelFail:
+      return "chan-fail";
+    case FaultKind::kLatencySpike:
+      return "latency";
+    case FaultKind::kDaemonStall:
+      return "stall";
+    case FaultKind::kDaemonCrash:
+      return "crash";
+    case FaultKind::kFreezeFail:
+      return "freeze-fail";
+    case FaultKind::kFreezeHang:
+      return "freeze-hang";
+    case FaultKind::kStealBurst:
+      return "steal";
+  }
+  return "?";
+}
+
+int64_t DefaultMagnitude(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLatencySpike:
+      return 10;  // 10x syscall+hypercall latency
+    case FaultKind::kFreezeHang:
+      return 50;  // 50x master-side op cost
+    case FaultKind::kStealBurst:
+      return 1;   // one pCPU stolen
+    default:
+      return 1;
+  }
+}
+
+namespace {
+
+bool ParseKind(const std::string& word, FaultKind* out) {
+  static constexpr FaultKind kAll[] = {
+      FaultKind::kChannelStale, FaultKind::kChannelGarbled,
+      FaultKind::kChannelFail,  FaultKind::kLatencySpike,
+      FaultKind::kDaemonStall,  FaultKind::kDaemonCrash,
+      FaultKind::kFreezeFail,   FaultKind::kFreezeHang,
+      FaultKind::kStealBurst,
+  };
+  for (FaultKind k : kAll) {
+    if (word == ToString(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Parses "<number><unit>" with unit ns|us|ms|s. Advances *pos past the token.
+bool ParseDuration(const std::string& s, size_t* pos, TimeNs* out) {
+  size_t i = *pos;
+  size_t digits = 0;
+  int64_t value = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    value = value * 10 + (s[i] - '0');
+    ++i;
+    ++digits;
+  }
+  if (digits == 0) {
+    return false;
+  }
+  TimeNs scale;
+  if (s.compare(i, 2, "ns") == 0) {
+    scale = 1;
+    i += 2;
+  } else if (s.compare(i, 2, "us") == 0) {
+    scale = 1'000;
+    i += 2;
+  } else if (s.compare(i, 2, "ms") == 0) {
+    scale = 1'000'000;
+    i += 2;
+  } else if (i < s.size() && s[i] == 's') {
+    scale = 1'000'000'000;
+    i += 1;
+  } else {
+    return false;
+  }
+  *out = value * scale;
+  *pos = i;
+  return true;
+}
+
+bool ParseEvent(const std::string& tok, FaultEvent* ev, std::string* error) {
+  const size_t at = tok.find('@');
+  if (at == std::string::npos) {
+    *error = "missing '@' in \"" + tok + "\"";
+    return false;
+  }
+  if (!ParseKind(tok.substr(0, at), &ev->kind)) {
+    *error = "unknown fault kind \"" + tok.substr(0, at) + "\"";
+    return false;
+  }
+  size_t pos = at + 1;
+  if (!ParseDuration(tok, &pos, &ev->start)) {
+    *error = "bad start time in \"" + tok + "\"";
+    return false;
+  }
+  if (pos >= tok.size() || tok[pos] != '+') {
+    *error = "missing '+<duration>' in \"" + tok + "\"";
+    return false;
+  }
+  ++pos;
+  if (!ParseDuration(tok, &pos, &ev->duration)) {
+    *error = "bad duration in \"" + tok + "\"";
+    return false;
+  }
+  if (pos < tok.size() && tok[pos] == '*') {
+    ++pos;
+    size_t digits = 0;
+    int64_t mag = 0;
+    while (pos < tok.size() && std::isdigit(static_cast<unsigned char>(tok[pos]))) {
+      mag = mag * 10 + (tok[pos] - '0');
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0) {
+      *error = "bad magnitude in \"" + tok + "\"";
+      return false;
+    }
+    ev->magnitude = mag;
+  }
+  if (pos != tok.size()) {
+    *error = "trailing junk in \"" + tok + "\"";
+    return false;
+  }
+  if (ev->duration <= 0) {
+    *error = "zero duration in \"" + tok + "\"";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error) {
+  FaultPlan plan;
+  plan.seed = out->seed;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(';', begin);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string tok = spec.substr(begin, end - begin);
+    if (!tok.empty()) {
+      FaultEvent ev;
+      std::string err;
+      if (!ParseEvent(tok, &ev, &err)) {
+        if (error != nullptr) {
+          *error = err;
+        }
+        return false;
+      }
+      plan.events.push_back(ev);
+    }
+    if (end == spec.size()) {
+      break;
+    }
+    begin = end + 1;
+  }
+  *out = std::move(plan);
+  return true;
+}
+
+}  // namespace vscale

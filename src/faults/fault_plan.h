@@ -1,0 +1,76 @@
+// FaultPlan: a declarative schedule of fault events to inject into a run.
+//
+// Each event names a fault kind, an absolute virtual start time, a duration and an
+// optional magnitude (kind-specific: latency multiplier, stolen pCPU count, ...).
+// The plan is pure data — the FaultInjector arms it on the simulation clock — so a
+// plan can be built programmatically, parsed from a spec string (quickstart's
+// --faults flag, digest_run scenarios) and replayed bit-identically: fault timing
+// rides the same deterministic EventQueue as everything else, and any randomness a
+// fault needs comes from an Rng forked from the plan seed (docs/FAULTS.md).
+
+#ifndef VSCALE_SRC_FAULTS_FAULT_PLAN_H_
+#define VSCALE_SRC_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace vscale {
+
+// Every injectable fault, each hooked at one existing seam of the vScale stack.
+// The site and the hardening response are catalogued in docs/FAULTS.md.
+enum class FaultKind {
+  kChannelStale,   // VscaleChannel::Read returns the payload frozen at fault start
+  kChannelGarbled, // payload value perturbed without a matching valid-stamp (torn read)
+  kChannelFail,    // the read syscall/hypercall fails outright
+  kLatencySpike,   // channel syscall+hypercall latency multiplied by `magnitude`
+  kDaemonStall,    // the daemon misses cycles (starved thread): no reads, no heartbeat
+  kDaemonCrash,    // daemon dead until the fault window ends (scheduled restart)
+  kFreezeFail,     // freeze/unfreeze ops fail after charging their syscall entry cost
+  kFreezeHang,     // freeze/unfreeze ops complete but cost `magnitude`x the normal time
+  kStealBurst,     // `magnitude` pCPUs stolen from the pool (other-pool interference)
+};
+
+inline constexpr int kNumFaultKinds = 9;
+
+const char* ToString(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kChannelFail;
+  TimeNs start = 0;     // absolute virtual time
+  TimeNs duration = 0;  // fault active in [start, start + duration)
+  // Kind-specific intensity; <= 0 selects the kind's default (see DefaultMagnitude).
+  int64_t magnitude = 0;
+
+  TimeNs end() const { return start + duration; }
+};
+
+// The per-kind meaning of a defaulted magnitude.
+int64_t DefaultMagnitude(FaultKind kind);
+
+struct FaultPlan {
+  // Seeds the injector's forked Rng (payload garbling picks deterministic noise).
+  uint64_t seed = 1;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  FaultPlan& Add(FaultKind kind, TimeNs start, TimeNs duration,
+                 int64_t magnitude = 0) {
+    events.push_back(FaultEvent{kind, start, duration, magnitude});
+    return *this;
+  }
+};
+
+// Parses a plan spec string: `;`-separated events of the form
+//   <kind>@<start><unit>+<duration><unit>[*<magnitude>]
+// with kinds chan-stale | chan-garble | chan-fail | latency | stall | crash |
+// freeze-fail | freeze-hang | steal and units ns/us/ms/s, e.g.
+//   "stall@500ms+200ms;chan-fail@1s+300ms;steal@2s+100ms*2"
+// Returns false (with *error set) on malformed input; `out` is untouched on failure.
+bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error);
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_FAULTS_FAULT_PLAN_H_

@@ -92,6 +92,7 @@ class GuestKernel : public GuestOs {
   const GuestCpu& cpu(int id) const { return cpus_[static_cast<size_t>(id)]; }
   int online_cpus() const;
   TimeNs NowNs() const { return hv_.Now(); }
+  Simulator& sim() { return sim_; }
 
   // --- threads ---
   // Spawns a thread; placement follows fork balancing unless `pinned_cpu` >= 0.

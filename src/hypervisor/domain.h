@@ -89,6 +89,11 @@ class Domain {
   int extendability_nvcpus = 0;
   // Raw extendability in ns of CPU per recalculation period (for diagnostics/tests).
   TimeNs extendability_ns = 0;
+  // Mailbox write sequence (bumped by every WriteExtendability; 0 = never written)
+  // and the matching valid-stamp — the staleness/torn-read protocol the hardened
+  // daemon checks (see ChannelPayload in types.h and docs/FAULTS.md).
+  uint64_t extendability_seq = 0;
+  uint64_t extendability_stamp = 0;
 
   // --- per-recalc-window consumption tracking (input to Algorithm 1) ---
   TimeNs consumed_in_window = 0;

@@ -44,6 +44,11 @@ class HvServices {
   // optimal active-vCPU count computed by the vScale ticker (0 if never computed).
   virtual int ReadExtendability(DomainId dom) = 0;
 
+  // Full-mailbox variant of the same hypercall: extendability plus the writer's
+  // sequence number and valid-stamp, so the guest can detect stale and torn reads
+  // (the hardened channel protocol; VscaleChannel::Read is the only caller).
+  virtual ChannelPayload ReadChannelPayload(DomainId dom) = 0;
+
   // The guest changed the state of a RUNNING vCPU from *outside* that vCPU's own
   // Advance/OnDeadline flow (e.g. another vCPU released a spin variable it waits on).
   // The hypervisor settles and recomputes the advance deadline.

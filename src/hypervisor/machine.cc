@@ -67,6 +67,9 @@ void Machine::InsertRunnable(Vcpu& v, bool at_head_of_prio, bool tickle_idlers) 
   Pcpu* p = nullptr;
   if (v.pcpu >= 0) {
     p = &pcpus_[static_cast<size_t>(v.pcpu)];
+    if (p->stolen) {
+      p = nullptr;  // affinity target lost to a steal burst: place like a fresh wake
+    }
   }
   if (p == nullptr || (p->current != nullptr && tickle_idlers)) {
     // Wake placement: an idle pCPU if there is one (Xen tickles idlers), otherwise
@@ -78,6 +81,9 @@ void Machine::InsertRunnable(Vcpu& v, bool at_head_of_prio, bool tickle_idlers) 
     } else if (p == nullptr || config_.wake_spreads_load) {
       Pcpu* best = p;
       for (auto& cand : pcpus_) {
+        if (cand.stolen) {
+          continue;
+        }
         if (best == nullptr || cand.runq.size() < best->runq.size()) {
           best = &cand;
         }
@@ -118,7 +124,7 @@ void Machine::RemoveFromRunq(Vcpu& v) {
 
 Machine::Pcpu* Machine::FindIdlePcpu() {
   for (auto& p : pcpus_) {
-    if (p.current == nullptr) {
+    if (p.current == nullptr && !p.stolen) {
       return &p;
     }
   }
@@ -173,7 +179,7 @@ Vcpu* Machine::StealWork(Pcpu& thief) {
 // ---------------------------------------------------------------------------
 
 void Machine::ScheduleDecision(Pcpu& p) {
-  if (p.current != nullptr) {
+  if (p.current != nullptr || p.stolen) {
     return;
   }
   Vcpu* next = PickFromRunq(p);
@@ -521,6 +527,11 @@ void Machine::CheckSchedulerInvariants() {
   // the deepest legitimate balance is roughly two missed clamps deep.
   const TimeNs credit_floor = -(4 * period + 2 * config_.cost.hv_tick_period);
   for (const auto& p : pcpus_) {
+    // A stolen pCPU belongs to another pool for the duration of the burst: it
+    // must neither run nor park anything (SetStolenPcpus migrated its queue).
+    VS_INVARIANT(!p.stolen || (p.current == nullptr && p.runq.empty()),
+                 "stolen pcpu %d still holds work (current=%d, runq=%zu)", p.id,
+                 p.current != nullptr ? 1 : 0, p.runq.size());
     if (p.current != nullptr) {
       VS_INVARIANT(p.current->state == VcpuState::kRunning,
                    "pcpu %d runs dom %d vcpu %d which is in state %d, not RUNNING",
@@ -678,6 +689,16 @@ int Machine::ReadExtendability(DomainId dom) {
   return domains_[static_cast<size_t>(dom)]->extendability_nvcpus;
 }
 
+ChannelPayload Machine::ReadChannelPayload(DomainId dom) {
+  const Domain& d = *domains_[static_cast<size_t>(dom)];
+  ChannelPayload p;
+  p.nvcpus = d.extendability_nvcpus;
+  p.ext_ns = d.extendability_ns;
+  p.seq = d.extendability_seq;
+  p.stamp = d.extendability_stamp;
+  return p;
+}
+
 void Machine::VcpuStateChanged(DomainId dom, VcpuId vcpu) {
   Vcpu& v = GetVcpu(dom, vcpu);
   if (v.state == VcpuState::kRunning) {
@@ -722,6 +743,71 @@ void Machine::WriteExtendability(DomainId dom, int n_vcpus, TimeNs ext_ns) {
   Domain& d = *domains_[static_cast<size_t>(dom)];
   d.extendability_nvcpus = n_vcpus;
   d.extendability_ns = ext_ns;
+  // Seq + valid-stamp: the guest-side staleness/torn-read protocol. An honest
+  // writer always advances seq and restamps; a garbling fault perturbs the value
+  // without restamping, which is exactly what the reader's check catches.
+  ++d.extendability_seq;
+  d.extendability_stamp = ChannelStamp(d.extendability_seq, n_vcpus);
+}
+
+void Machine::SetStolenPcpus(int n) {
+  n = std::clamp(n, 0, n_pcpus() - 1);
+  const TimeNs now = sim_.Now();
+  // Pass 1: flip the stolen marks and vacate newly stolen pCPUs. Displaced and
+  // parked vCPUs are collected first and re-placed only after every mark is final,
+  // so none lands on a pCPU about to be stolen in the same transition.
+  std::vector<Vcpu*> displaced;
+  std::vector<Pcpu*> freed;
+  for (auto& p : pcpus_) {
+    const bool steal = p.id >= n_pcpus() - n;
+    if (steal == p.stolen) {
+      continue;
+    }
+    if (steal) {
+      p.stolen = true;
+      p.stolen_since = now;
+      if (p.current != nullptr) {
+        SettleRunning(*p.current);
+        ++p.current->preemptions;
+        VSCALE_TRACE_INSTANT(now, TraceCategory::kHypervisor, "steal_evict",
+                             p.current->domain()->id(), p.current->id(), p.id);
+        // InsertRunnable sees p already marked stolen, so the requeue re-places
+        // the evicted vCPU on a surviving pCPU right away.
+        DescheduleCurrent(p, VcpuState::kRunnable);
+      } else {
+        // Close the idle window: the burst counts as stolen time, not idle time.
+        p.total_idle += now - p.idle_since;
+      }
+      p.idle_since = now;
+      for (Vcpu* v : p.runq) {
+        displaced.push_back(v);
+      }
+      p.runq.clear();
+    } else {
+      p.stolen = false;
+      stolen_ns_ += now - p.stolen_since;
+      p.idle_since = now;
+      freed.push_back(&p);
+    }
+  }
+  // Pass 2: the hypervisor migrates the stolen pCPUs' queues to surviving ones.
+  for (Vcpu* v : displaced) {
+    v->pcpu = -1;
+    InsertRunnable(*v);
+  }
+  for (Pcpu* p : freed) {
+    ScheduleDecision(*p);
+  }
+}
+
+int Machine::stolen_pcpus() const {
+  int n = 0;
+  for (const auto& p : pcpus_) {
+    if (p.stolen) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 TimeNs Machine::TotalIdleTime() const {

@@ -84,6 +84,7 @@ class Machine : public HvServices {
   void PollVcpu(DomainId dom, VcpuId vcpu, EvtchnPort port) override;
   void NotifyFreeze(DomainId dom, VcpuId vcpu, bool frozen) override;
   int ReadExtendability(DomainId dom) override;
+  ChannelPayload ReadChannelPayload(DomainId dom) override;
   void VcpuStateChanged(DomainId dom, VcpuId vcpu) override;
 
   // --- vScale ticker interface (hypervisor-side extension, written by vscale/) ---
@@ -93,6 +94,16 @@ class Machine : public HvServices {
   TimeNs WindowWaited(DomainId dom) const;
   void ResetConsumptionWindow();
   void WriteExtendability(DomainId dom, int n_vcpus, TimeNs ext_ns);
+
+  // --- fault plane: pCPU steal bursts (driven by a FaultInjector transition) ---
+  // Marks the highest-id `n` pCPUs as stolen by another pool: their current vCPUs
+  // are descheduled and their queues migrate; the scheduler skips stolen pCPUs
+  // until the burst ends (n = 0). Clamped to n_pcpus - 1 so the pool never fully
+  // vanishes. Deterministic — a plain state change on the virtual clock.
+  void SetStolenPcpus(int n);
+  int stolen_pcpus() const;
+  // Aggregate pCPU-time lost to completed steal bursts.
+  TimeNs total_stolen_ns() const { return stolen_ns_; }
 
   // --- statistics ---
   TimeNs PcpuIdleTime(PcpuId p) const { return pcpus_[static_cast<size_t>(p)].total_idle; }
@@ -112,6 +123,8 @@ class Machine : public HvServices {
     TimeNs idle_since = 0;
     TimeNs total_idle = 0;
     Simulator::EventId ratelimit_check = Simulator::kInvalidEvent;
+    bool stolen = false;       // temporarily owned by another pool (fault plane)
+    TimeNs stolen_since = 0;
   };
 
   Vcpu& GetVcpu(DomainId dom, VcpuId vcpu) {
@@ -177,6 +190,7 @@ class Machine : public HvServices {
   std::unique_ptr<PeriodicTask> acct_task_;
   int64_t context_switches_ = 0;
   TimeNs window_start_ = 0;  // start of the current vScale consumption window
+  TimeNs stolen_ns_ = 0;     // pCPU-time lost to completed steal bursts
 
   // Global vCPU index assignment for pending_ports_.
   int GlobalIndex(const Vcpu& v) const;

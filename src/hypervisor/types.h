@@ -5,6 +5,8 @@
 
 #include <cstdint>
 
+#include "src/base/time.h"
+
 namespace vscale {
 
 using DomainId = int;
@@ -26,6 +28,33 @@ enum class CreditPriority : int {
   kUnder = 1,  // positive credit balance
   kOver = 2,   // exhausted credits; runs only work-conservingly
 };
+
+// The vScale channel mailbox as the guest reads it through SCHEDOP_getvscaleinfo.
+// `seq` increments on every ticker write (0 = never written); `stamp` is a mixing
+// function of (seq, nvcpus) recomputed by the writer, so a reader that observes a
+// value without its matching stamp has seen a torn/garbled payload and must reject
+// it, and a reader whose seq stops advancing is looking at stale data. This is the
+// hardened control plane's staleness/validity protocol (docs/FAULTS.md).
+struct ChannelPayload {
+  int nvcpus = 0;        // extendability as an optimal active-vCPU count
+  TimeNs ext_ns = 0;     // raw extendability (diagnostics)
+  uint64_t seq = 0;      // writer sequence number; 0 = mailbox never written
+  uint64_t stamp = 0;    // ChannelStamp(seq, nvcpus) as of the last honest write
+};
+
+// splitmix64-style finalizer over the (seq, value) pair. Cheap, deterministic, and
+// any single-field perturbation changes it — all a torn-read detector needs.
+inline uint64_t ChannelStamp(uint64_t seq, int nvcpus) {
+  uint64_t x = seq * 0x9e3779b97f4a7c15ull ^
+               (static_cast<uint64_t>(static_cast<int64_t>(nvcpus)) +
+                0xd1b54a32d192ed03ull);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
 
 inline const char* ToString(VcpuState s) {
   switch (s) {

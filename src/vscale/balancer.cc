@@ -6,12 +6,33 @@
 
 namespace vscale {
 
-TimeNs VscaleBalancer::ApplyTarget(int target) {
+VscaleBalancer::ApplyOutcome VscaleBalancer::ApplyTarget(int target) {
   target = std::clamp(target, 1, kernel_.n_cpus());
   VSCALE_TRACE_INSTANT_ARG(kernel_.NowNs(), TraceCategory::kVscale, "apply_target",
                            kernel_.domain().id(), -1, -1, "target", target);
-  TimeNs cost = 0;
+  ApplyOutcome out;
   int active = kernel_.online_cpus();
+  // A freeze/unfreeze op that the fault plane fails burns its syscall entry before
+  // erroring out; the rest of the batch is abandoned (the daemon retries with
+  // backoff rather than hammering a failing hotplug path).
+  auto op_failed = [&]() {
+    if (faults_ != nullptr && faults_->Active(FaultKind::kFreezeFail)) {
+      out.cost += kernel_.cost().freeze_syscall;
+      ++out.ops_failed;
+      ++op_failures_;
+      VSCALE_TRACE_INSTANT(kernel_.NowNs(), TraceCategory::kVscale, "freeze_op_fail",
+                           kernel_.domain().id(), -1, -1);
+      return true;
+    }
+    return false;
+  };
+  auto perturb = [&](TimeNs op_cost) {
+    if (faults_ != nullptr && faults_->Active(FaultKind::kFreezeHang)) {
+      ++op_hangs_;
+      return op_cost * std::max<int64_t>(2, faults_->Magnitude(FaultKind::kFreezeHang));
+    }
+    return op_cost;
+  };
   // Shrink: freeze the highest-id active vCPU first (vCPU0 stays).
   while (active > target) {
     int victim = -1;
@@ -24,7 +45,11 @@ TimeNs VscaleBalancer::ApplyTarget(int target) {
     if (victim < 0) {
       break;
     }
-    cost += kernel_.FreezeCpu(victim);
+    if (op_failed()) {
+      out.complete = false;
+      return out;
+    }
+    out.cost += perturb(kernel_.FreezeCpu(victim));
     ++freezes_;
     --active;
   }
@@ -40,11 +65,16 @@ TimeNs VscaleBalancer::ApplyTarget(int target) {
     if (candidate < 0) {
       break;
     }
-    cost += kernel_.UnfreezeCpu(candidate);
+    if (op_failed()) {
+      out.complete = false;
+      return out;
+    }
+    out.cost += perturb(kernel_.UnfreezeCpu(candidate));
     ++unfreezes_;
     ++active;
   }
-  return cost;
+  out.complete = active == target;
+  return out;
 }
 
 }  // namespace vscale

@@ -71,15 +71,42 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     desktops_.push_back(std::move(desktop));
   }
 
+  if (!config_.faults.empty()) {
+    FaultPlan plan = config_.faults;
+    plan.seed = plan.seed != 0 ? plan.seed : config_.seed;
+    injector_ = std::make_unique<FaultInjector>(machine_->sim(), plan);
+    // Steal bursts act on the machine directly (pCPUs lost to other pools); the
+    // rest of the fault kinds bite at the channel/daemon/balancer hooks below.
+    injector_->on_transition = [this](const FaultEvent& ev, bool) {
+      if (ev.kind == FaultKind::kStealBurst) {
+        const bool active = injector_->Active(FaultKind::kStealBurst);
+        machine_->SetStolenPcpus(
+            active ? static_cast<int>(injector_->Magnitude(FaultKind::kStealBurst))
+                   : 0);
+      }
+    };
+    injector_->Arm();
+  }
+
   if (PolicyUsesVscale(config_.policy)) {
     ticker_ = std::make_unique<ExtendabilityTicker>(*machine_);
     ticker_->Start();
     daemon_ = std::make_unique<VscaleDaemon>(*primary_kernel_, *machine_,
                                              config_.daemon);
+    daemon_->set_fault_injector(injector_.get());
     daemon_->Start();
+    if (config_.enable_watchdog) {
+      WatchdogConfig wc = config_.watchdog;
+      if (wc.safe_vcpu_floor <= 0) {
+        wc.safe_vcpu_floor = config_.daemon.safe_vcpu_floor;
+      }
+      watchdog_ = std::make_unique<VscaleWatchdog>(*primary_kernel_, *daemon_, wc);
+      watchdog_->Start();
+    }
     if (config_.vscale_in_background) {
       for (auto& bk : background_kernels_) {
         auto d = std::make_unique<VscaleDaemon>(*bk, *machine_, config_.daemon);
+        d->set_fault_injector(injector_.get());
         d->Start();
         background_daemons_.push_back(std::move(d));
       }
@@ -88,8 +115,50 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
 
   // Expose the canonical statistics by name. The prefix separates policies when one
   // process runs several testbeds; same-policy reruns overwrite (last run wins).
-  RegisterMachineMetrics(MetricsRegistry::Global(), *machine_,
-                         SanitizeMetricName(ToString(config_.policy)) + ".");
+  const std::string prefix = SanitizeMetricName(ToString(config_.policy)) + ".";
+  RegisterMachineMetrics(MetricsRegistry::Global(), *machine_, prefix);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  if (injector_ != nullptr) {
+    FaultInjector* inj = injector_.get();
+    reg.RegisterGauge(prefix + "faults.events_started",
+                      [inj] { return inj->events_started(); });
+    reg.RegisterGauge(prefix + "faults.events_ended",
+                      [inj] { return inj->events_ended(); });
+    Machine* m = machine_.get();
+    reg.RegisterGauge(prefix + "hv.stolen_ns_total",
+                      [m] { return m->total_stolen_ns(); });
+  }
+  if (daemon_ != nullptr) {
+    VscaleDaemon* d = daemon_.get();
+    reg.RegisterGauge(prefix + "vscale.cycles", [d] { return d->cycles(); });
+    reg.RegisterGauge(prefix + "vscale.read_retries",
+                      [d] { return d->read_retries(); });
+    reg.RegisterGauge(prefix + "vscale.apply_retries",
+                      [d] { return d->apply_retries(); });
+    reg.RegisterGauge(prefix + "vscale.stale_detections",
+                      [d] { return d->stale_detections(); });
+    reg.RegisterGauge(prefix + "vscale.stale_held_cycles",
+                      [d] { return d->stale_held_cycles(); });
+    reg.RegisterGauge(prefix + "vscale.degradations",
+                      [d] { return d->degradations(); });
+    reg.RegisterGauge(prefix + "vscale.resumes", [d] { return d->resumes(); });
+    reg.RegisterGauge(prefix + "vscale.crashes", [d] { return d->crashes(); });
+    reg.RegisterGauge(prefix + "vscale.restarts", [d] { return d->restarts(); });
+    reg.RegisterGauge(prefix + "vscale.reads_failed",
+                      [d] { return d->channel().reads_failed(); });
+    reg.RegisterGauge(prefix + "vscale.torn_rejected",
+                      [d] { return d->channel().torn_rejected(); });
+    reg.RegisterGauge(prefix + "vscale.freeze_op_failures",
+                      [d] { return d->balancer().op_failures(); });
+    reg.RegisterGauge(prefix + "vscale.freeze_op_hangs",
+                      [d] { return d->balancer().op_hangs(); });
+  }
+  if (watchdog_ != nullptr) {
+    VscaleWatchdog* w = watchdog_.get();
+    reg.RegisterGauge(prefix + "vscale.watchdog_trips", [w] { return w->trips(); });
+    reg.RegisterGauge(prefix + "vscale.watchdog_recoveries",
+                      [w] { return w->recoveries(); });
+  }
 }
 
 Testbed::~Testbed() {

@@ -11,10 +11,12 @@
 #include <vector>
 
 #include "src/base/time.h"
+#include "src/faults/fault_injector.h"
 #include "src/guest/kernel.h"
 #include "src/hypervisor/machine.h"
 #include "src/vscale/daemon.h"
 #include "src/vscale/ticker.h"
+#include "src/vscale/watchdog.h"
 #include "src/workloads/background.h"
 
 namespace vscale {
@@ -52,6 +54,12 @@ struct TestbedConfig {
   bool vscale_in_background = false;
   // Weight per vCPU so "all vCPUs are treated equally by the hypervisor scheduler".
   int weight_per_vcpu = 256;
+  // Scheduled fault events (docs/FAULTS.md); empty = fault-free run. Steal bursts
+  // apply to any policy; channel/daemon/freeze faults only bite under vScale.
+  FaultPlan faults;
+  // The daemon-liveness watchdog, armed for vScale policies (no daemon, no watchdog).
+  WatchdogConfig watchdog;
+  bool enable_watchdog = true;
 };
 
 class Testbed {
@@ -69,6 +77,8 @@ class Testbed {
   const TestbedConfig& config() const { return config_; }
   VscaleDaemon* daemon() { return daemon_.get(); }
   ExtendabilityTicker* ticker() { return ticker_.get(); }
+  FaultInjector* faults() { return injector_.get(); }
+  VscaleWatchdog* watchdog() { return watchdog_.get(); }
 
   // Runs until `stop` returns true or `deadline` passes; returns whether stop fired.
   bool RunUntil(const std::function<bool()>& stop, TimeNs deadline);
@@ -89,6 +99,8 @@ class Testbed {
   std::unique_ptr<ExtendabilityTicker> ticker_;
   std::unique_ptr<VscaleDaemon> daemon_;
   std::vector<std::unique_ptr<VscaleDaemon>> background_daemons_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<VscaleWatchdog> watchdog_;
 };
 
 }  // namespace vscale

@@ -315,6 +315,123 @@ TEST(DaemonTest, ConfirmationsFilterNoise) {
   EXPECT_EQ(daemon.balancer().freezes(), 0);
 }
 
+// --- vote-hysteresis edge cases ---
+// The daemon polls every 10 ms starting at ~0; a value written at t sees its
+// first poll at the next 10 ms boundary. Each WriteExtendability bumps the
+// channel sequence number, so flapping writes always read as fresh.
+
+TEST(DaemonTest, FlappingAtShrinkBoundaryNeverFreezes) {
+  MachineConfig mc;
+  mc.n_pcpus = 8;
+  Machine machine(mc);
+  Domain& d = machine.CreateDomain("vm", 1024, 4);
+  GuestKernel kernel(machine, machine.sim(), d, GuestConfig{});
+  DaemonConfig dc;
+  dc.shrink_confirmations = 3;
+  dc.useful_obtainment_guard = false;
+  VscaleDaemon daemon(kernel, machine, dc);
+  daemon.Start();
+  // Alternate 2/4 so every poll sees a fresh value but never three consecutive
+  // shrink votes: 2 at most twice in a row is one vote short of the boundary.
+  for (int k = 0; k < 20; ++k) {
+    machine.sim().ScheduleAt(Milliseconds(5 + 10 * k), [&machine, &d, k] {
+      machine.WriteExtendability(d.id(), (k % 2 == 0) ? 2 : 4,
+                                 Milliseconds(20));
+    });
+  }
+  machine.sim().RunUntil(Milliseconds(220));
+  EXPECT_EQ(kernel.online_cpus(), 4);
+  EXPECT_EQ(daemon.balancer().freezes(), 0);
+}
+
+TEST(DaemonTest, ShrinkBoundaryExactlyMetFreezesOnFinalVote) {
+  MachineConfig mc;
+  mc.n_pcpus = 8;
+  Machine machine(mc);
+  Domain& d = machine.CreateDomain("vm", 1024, 4);
+  GuestKernel kernel(machine, machine.sim(), d, GuestConfig{});
+  DaemonConfig dc;
+  dc.shrink_confirmations = 3;
+  dc.useful_obtainment_guard = false;
+  VscaleDaemon daemon(kernel, machine, dc);
+  daemon.Start();
+  machine.sim().ScheduleAt(Milliseconds(5), [&machine, &d] {
+    machine.WriteExtendability(d.id(), 2, Milliseconds(20));
+  });
+  // Polls at 10 and 20 ms are votes one and two: still one short.
+  machine.sim().RunUntil(Milliseconds(25));
+  EXPECT_EQ(kernel.online_cpus(), 4);
+  EXPECT_EQ(daemon.balancer().freezes(), 0);
+  // The 30 ms poll is the third consecutive vote: shrink exactly then.
+  machine.sim().RunUntil(Milliseconds(35));
+  EXPECT_EQ(kernel.online_cpus(), 2);
+}
+
+TEST(DaemonTest, TargetChangeMidConfirmationRestartsTheCount) {
+  MachineConfig mc;
+  mc.n_pcpus = 8;
+  Machine machine(mc);
+  Domain& d = machine.CreateDomain("vm", 1024, 4);
+  GuestKernel kernel(machine, machine.sim(), d, GuestConfig{});
+  DaemonConfig dc;
+  dc.shrink_confirmations = 3;
+  dc.useful_obtainment_guard = false;
+  VscaleDaemon daemon(kernel, machine, dc);
+  daemon.Start();
+  // Two votes for 2, then the published target moves to 3: the partial
+  // confirmation run for 2 must not carry over to the new target.
+  machine.sim().ScheduleAt(Milliseconds(5), [&machine, &d] {
+    machine.WriteExtendability(d.id(), 2, Milliseconds(20));
+  });
+  machine.sim().ScheduleAt(Milliseconds(25), [&machine, &d] {
+    machine.WriteExtendability(d.id(), 3, Milliseconds(30));
+  });
+  // Polls at 30 and 40 ms are only votes one and two for target 3.
+  machine.sim().RunUntil(Milliseconds(45));
+  EXPECT_EQ(kernel.online_cpus(), 4);
+  // The 50 ms poll completes three consecutive votes for 3.
+  machine.sim().RunUntil(Milliseconds(55));
+  EXPECT_EQ(kernel.online_cpus(), 3);
+  EXPECT_EQ(daemon.balancer().freezes(), 1);
+}
+
+TEST(DaemonTest, FlappingAtGrowBoundaryHoldsUntilConfirmed) {
+  MachineConfig mc;
+  mc.n_pcpus = 8;
+  Machine machine(mc);
+  Domain& d = machine.CreateDomain("vm", 1024, 4);
+  GuestKernel kernel(machine, machine.sim(), d, GuestConfig{});
+  DaemonConfig dc;
+  dc.shrink_confirmations = 1;
+  dc.grow_confirmations = 3;
+  dc.useful_obtainment_guard = false;
+  VscaleDaemon daemon(kernel, machine, dc);
+  daemon.Start();
+  machine.sim().ScheduleAt(Milliseconds(5), [&machine, &d] {
+    machine.WriteExtendability(d.id(), 2, Milliseconds(20));
+  });
+  machine.sim().RunUntil(Milliseconds(15));
+  ASSERT_EQ(kernel.online_cpus(), 2);  // single-vote shrink
+  // Flap 4/2: grow votes for 4 reset every other poll, so no unfreeze.
+  for (int k = 0; k < 6; ++k) {
+    machine.sim().ScheduleAt(Milliseconds(15 + 10 * k), [&machine, &d, k] {
+      machine.WriteExtendability(d.id(), (k % 2 == 0) ? 4 : 2,
+                                 Milliseconds(20));
+    });
+  }
+  machine.sim().RunUntil(Milliseconds(78));
+  EXPECT_EQ(kernel.online_cpus(), 2);
+  EXPECT_EQ(daemon.balancer().unfreezes(), 0);
+  // Now hold 4 steady: polls at 80, 90, 100 ms confirm and grow on the third.
+  machine.sim().ScheduleAt(Milliseconds(78), [&machine, &d] {
+    machine.WriteExtendability(d.id(), 4, Milliseconds(40));
+  });
+  machine.sim().RunUntil(Milliseconds(95));
+  EXPECT_EQ(kernel.online_cpus(), 2);
+  machine.sim().RunUntil(Milliseconds(105));
+  EXPECT_EQ(kernel.online_cpus(), 4);
+}
+
 TEST(DaemonTest, DaemonCostIsChargedInGuest) {
   MachineConfig mc;
   mc.n_pcpus = 4;

@@ -23,6 +23,11 @@
 //   float-accum          float/double declarations whose name involves credit
 //                        or *_ns — order-sensitive accumulation where the
 //                        scheduler needs exact TimeNs (int64) arithmetic.
+//   faults-allow-escape  `allow()` markers inside src/faults/ — the fault
+//                        plane is the one subsystem that must stay escape-free:
+//                        injected chaos must replay bit-identically, so its
+//                        randomness comes only from src/base/rng.h, with no
+//                        suppressions at all.
 //
 // Comments and string/char literals are stripped before matching (so this file
 // does not flag itself); allow-annotations are read from the raw line first.
@@ -238,6 +243,10 @@ void ScanSource(const std::string& label, const std::string& content,
   }
 
   bool in_block = false;
+  // The fault plane may not carry suppressions at all: every allow() marker in
+  // src/faults/ is itself a finding (the markers still suppress their rule, but
+  // the scan fails regardless, so there is no quiet way out).
+  const bool no_allows_here = label.find("src/faults") != std::string::npos;
   // allowed[i] = rules suppressed on line i (0-based).
   std::vector<std::vector<std::string>> allowed(lines.size());
   std::vector<std::string> stripped(lines.size());
@@ -246,6 +255,12 @@ void ScanSource(const std::string& label, const std::string& content,
     ParseAllows(lines[i], &allows);
     stripped[i] = StripLine(lines[i], &in_block);
     if (allows.empty()) continue;
+    if (no_allows_here) {
+      findings->push_back(
+          {label, static_cast<int>(i) + 1, "faults-allow-escape",
+           "allow() escapes are banned in src/faults: injected chaos must "
+           "replay bit-identically, randomness only via src/base/rng.h"});
+    }
     for (const auto& a : allows) allowed[i].push_back(a);
     // A comment-only allow line covers the next line too.
     const bool code_blank =
@@ -373,11 +388,18 @@ int SelfTest() {
   failures += Expect("two-hits",
                      "std::unordered_set<int> s; int x = rand();\n",
                      {"unordered-container", "raw-rand"});
+  // In src/faults/, the allow marker itself is a finding (and the scan fails
+  // whether or not it also suppressed a rule).
+  failures += Expect("src/faults/escape-banned.cc",
+                     "// det_lint: allow(raw-rand)\nint x = rand();\n",
+                     {"faults-allow-escape"});
+  failures += Expect("src/base/escape-fine-elsewhere.cc",
+                     "// det_lint: allow(raw-rand)\nint x = rand();\n", {});
   if (failures != 0) {
     std::fprintf(stderr, "det_lint: selftest FAILED (%d case(s))\n", failures);
     return 1;
   }
-  std::printf("det_lint: selftest OK (18 cases)\n");
+  std::printf("det_lint: selftest OK (20 cases)\n");
   return 0;
 }
 

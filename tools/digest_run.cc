@@ -14,7 +14,9 @@
 //
 // Scenarios mirror the repo's entry points: `quickstart` is the README example
 // (baseline + vScale), `fig8` the spin-heavy bt run behind the Fig. 8 bench,
-// `fig9` the cg wait-time run behind the Fig. 9 bench.
+// `fig9` the cg wait-time run behind the Fig. 9 bench, and `chaos` the compound
+// fault scenario of docs/FAULTS.md — faulted runs must replay bit-identically
+// too, or the fault plane itself has a determinism hole.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +26,7 @@
 
 #include "src/base/metrics_registry.h"
 #include "src/base/time.h"
+#include "src/faults/fault_plan.h"
 #include "src/metrics/state_digest.h"
 #include "src/workloads/omp_app.h"
 #include "src/workloads/testbed.h"
@@ -36,12 +39,20 @@ using namespace vscale;
 // completion, absorbs live machine/guest state, then lets the Testbed
 // destructor freeze its gauges into the global registry.
 void RunCell(Policy policy, const char* app_name, int64_t spin_count,
-             int64_t intervals, uint64_t seed, StateDigest* digest) {
+             int64_t intervals, uint64_t seed, StateDigest* digest,
+             const char* fault_spec = nullptr) {
   TestbedConfig cfg;
   cfg.policy = policy;
   cfg.primary_vcpus = 4;
   cfg.pool_pcpus = 4;  // 2 desktop VMs keep the pool consolidated
   cfg.seed = seed;
+  if (fault_spec != nullptr) {
+    std::string error;
+    if (!ParseFaultPlan(fault_spec, &cfg.faults, &error)) {
+      std::fprintf(stderr, "digest_run: bad fault spec: %s\n", error.c_str());
+      std::exit(2);
+    }
+  }
   Testbed bed(cfg);
   OmpAppConfig app_cfg = NpbProfile(app_name, cfg.primary_vcpus, spin_count);
   app_cfg.intervals = intervals;
@@ -75,6 +86,12 @@ const Scenario kScenarios[] = {
      [](uint64_t seed, StateDigest* d) {
        RunCell(Policy::kBaselinePvlock, "cg", kSpinCountDefault, 30, seed, d);
        RunCell(Policy::kVscalePvlock, "cg", kSpinCountDefault, 30, seed, d);
+     }},
+    {"chaos", "lu under vScale with the compound fault plan of docs/FAULTS.md",
+     [](uint64_t seed, StateDigest* d) {
+       RunCell(Policy::kVscale, "lu", kSpinCountDefault, 40, seed, d,
+               "chan-stale@400ms+600ms;stall@1500ms+800ms;"
+               "freeze-fail@3s+400ms;latency@4s+300ms*12;steal@5s+500ms*1");
      }},
 };
 
