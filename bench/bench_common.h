@@ -17,7 +17,9 @@
 #include "src/base/trace.h"
 #include "src/metrics/state_digest.h"
 #include "src/metrics/trace_export.h"
+#include "src/obs/stall_accounting.h"
 #include "src/workloads/campaign.h"
+#include "src/workloads/testbed.h"
 
 namespace vscale {
 
@@ -35,6 +37,10 @@ namespace vscale {
 // end state — every frozen metric, plus the recorded event count when tracing —
 // on exit. Re-running the same bench command must reprint the same digest;
 // docs/CHECKING.md describes the double-run determinism check built on this.
+//
+// --stall (or VSCALE_STALL=1) enables stall attribution for every Testbed the
+// bench constructs; --stall-csv <path> (or VSCALE_STALL_CSV=<path>) also dumps
+// the bucket time series for tools/stall_report on destruction.
 class BenchTraceScope {
  public:
   BenchTraceScope(int argc, char** argv) {
@@ -47,14 +53,30 @@ class BenchTraceScope {
     if (std::getenv("VSCALE_DIGEST") != nullptr) {
       want_digest_ = true;
     }
+    if (std::getenv("VSCALE_STALL") != nullptr) {
+      want_stall_ = true;
+    }
+    if (const char* env = std::getenv("VSCALE_STALL_CSV")) {
+      stall_csv_path_ = env;
+    }
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
         trace_path_ = argv[++i];
       } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
         metrics_path_ = argv[++i];
+      } else if (std::strcmp(argv[i], "--stall-csv") == 0 && i + 1 < argc) {
+        stall_csv_path_ = argv[++i];
       } else if (std::strcmp(argv[i], "--digest") == 0) {
         want_digest_ = true;
+      } else if (std::strcmp(argv[i], "--stall") == 0) {
+        want_stall_ = true;
       }
+    }
+    if (!stall_csv_path_.empty()) {
+      want_stall_ = true;
+    }
+    if (want_stall_) {
+      Testbed::SetStallAccountingDefault(true);
     }
     if (!trace_path_.empty()) {
       GlobalTracer().Clear();
@@ -84,6 +106,19 @@ class BenchTraceScope {
         std::fprintf(stderr, "metrics: cannot open %s\n", metrics_path_.c_str());
       }
     }
+    if (!stall_csv_path_.empty()) {
+      std::ofstream f(stall_csv_path_);
+      if (f) {
+        StallAccountant::Global().WriteCsv(f);
+        std::printf("stall: wrote bucket time series to %s\n",
+                    stall_csv_path_.c_str());
+      } else {
+        std::fprintf(stderr, "stall: cannot open %s\n", stall_csv_path_.c_str());
+      }
+    }
+    if (want_stall_) {
+      Testbed::SetStallAccountingDefault(false);
+    }
     if (want_digest_) {
       StateDigest digest;
       digest.AbsorbRegistry(MetricsRegistry::Global());
@@ -97,7 +132,9 @@ class BenchTraceScope {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string stall_csv_path_;
   bool want_digest_ = false;
+  bool want_stall_ = false;
 };
 
 inline std::vector<uint64_t> BenchSeeds() {

@@ -3,13 +3,20 @@
 // delay (VM waiting time) and IPI load.
 //
 //   $ ./examples/quickstart [app] [vcpus] [--trace out.json] [--metrics out.csv]
-//                           [--digest] [--faults <plan>]
+//                           [--digest] [--faults <plan>] [--stall]
+//                           [--stall-csv out.csv]
 //
 // --trace records both runs into the flight recorder and writes a Chrome trace_event
 // JSON file (open it in ui.perfetto.dev); --metrics dumps the named counter/gauge
 // registry as CSV (docs/OBSERVABILITY.md). --digest prints the 64-bit state
 // digest of the pair of runs: identical invocations must print identical
 // digests, in every build flavour (docs/CHECKING.md).
+//
+// --stall turns on stall attribution: per-vCPU exclusive-state time buckets,
+// latency histograms and per-domain counter tracks in the trace. --stall-csv
+// (implies --stall) writes the bucket time series for tools/stall_report:
+//
+//   $ ./examples/quickstart lu 4 --stall-csv stall.csv && ./tools/stall_report stall.csv
 //
 // --faults injects a deterministic fault plan (docs/FAULTS.md) into the vScale run
 // (the baseline has no control plane to fault). Try a daemon stall mid-run and watch
@@ -35,6 +42,7 @@
 #include "src/metrics/run_metrics.h"
 #include "src/metrics/state_digest.h"
 #include "src/metrics/trace_export.h"
+#include "src/obs/stall_accounting.h"
 #include "src/workloads/omp_app.h"
 #include "src/workloads/testbed.h"
 
@@ -59,12 +67,13 @@ struct RunOutcome {
 
 RunOutcome RunOnce(vscale::Policy policy, const std::string& app_name, int vcpus,
                    uint64_t seed, vscale::StateDigest* digest,
-                   const vscale::FaultPlan& faults) {
+                   const vscale::FaultPlan& faults, bool stall) {
   using namespace vscale;
   TestbedConfig cfg;
   cfg.policy = policy;
   cfg.primary_vcpus = vcpus;
   cfg.seed = seed;
+  cfg.stall_accounting = stall;
   // Faults only make sense where there is a control plane to harden; the baseline
   // run stays clean so the comparison still shows vScale's healthy-path win.
   if (PolicyUsesVscale(policy)) {
@@ -115,22 +124,35 @@ RunOutcome RunOnce(vscale::Policy policy, const std::string& app_name, int vcpus
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  std::string stall_csv_path;
   bool want_digest = false;
+  bool want_stall = false;
   vscale::FaultPlan faults;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0 || std::strcmp(argv[i], "--metrics") == 0) {
+    if (std::strcmp(argv[i], "--trace") == 0 || std::strcmp(argv[i], "--metrics") == 0 ||
+        std::strcmp(argv[i], "--stall-csv") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "usage: quickstart [app] [vcpus] [--trace out.json] "
-                             "[--metrics out.csv] [--digest] [--faults <plan>]\n"
+                             "[--metrics out.csv] [--digest] [--faults <plan>] "
+                             "[--stall] [--stall-csv out.csv]\n"
                              "%s requires a path\n",
                      argv[i]);
         return 2;
       }
-      (std::strcmp(argv[i], "--trace") == 0 ? trace_path : metrics_path) = argv[i + 1];
+      if (std::strcmp(argv[i], "--trace") == 0) {
+        trace_path = argv[i + 1];
+      } else if (std::strcmp(argv[i], "--metrics") == 0) {
+        metrics_path = argv[i + 1];
+      } else {
+        stall_csv_path = argv[i + 1];
+        want_stall = true;
+      }
       ++i;
     } else if (std::strcmp(argv[i], "--digest") == 0) {
       want_digest = true;
+    } else if (std::strcmp(argv[i], "--stall") == 0) {
+      want_stall = true;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--faults requires a plan, e.g. 'stall@1s+2s'\n");
@@ -162,8 +184,9 @@ int main(int argc, char** argv) {
   vscale::StateDigest digest;
   vscale::StateDigest* d = want_digest ? &digest : nullptr;
   const RunOutcome base =
-      RunOnce(vscale::Policy::kBaseline, app, vcpus, 42, d, faults);
-  const RunOutcome vs = RunOnce(vscale::Policy::kVscale, app, vcpus, 42, d, faults);
+      RunOnce(vscale::Policy::kBaseline, app, vcpus, 42, d, faults, want_stall);
+  const RunOutcome vs =
+      RunOnce(vscale::Policy::kVscale, app, vcpus, 42, d, faults, want_stall);
 
   // Export observability artifacts before printing the comparison: the two runs sit
   // back to back on one timeline (the tracer rebases the second run's timestamps).
@@ -187,6 +210,18 @@ int main(int argc, char** argv) {
                   vscale::MetricsRegistry::Global().size(), metrics_path.c_str());
     } else {
       std::fprintf(stderr, "metrics: cannot open %s\n", metrics_path.c_str());
+    }
+  }
+
+  if (!stall_csv_path.empty()) {
+    std::ofstream f(stall_csv_path);
+    if (f) {
+      vscale::StallAccountant::Global().WriteCsv(f);
+      std::printf("stall: wrote bucket time series for both runs to %s — "
+                  "summarize with tools/stall_report\n",
+                  stall_csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "stall: cannot open %s\n", stall_csv_path.c_str());
     }
   }
 

@@ -10,6 +10,7 @@
 #include "src/base/check.h"
 #include "src/base/log.h"
 #include "src/base/trace.h"
+#include "src/obs/stall_accounting.h"
 
 namespace vscale {
 
@@ -128,6 +129,12 @@ void GuestKernel::Advance(VcpuId vcpu, TimeNs elapsed) {
     case RunMode::kUserSpin:
     case RunMode::kKernelSpin:
       t->spin_time += rem;
+      if (t->run_mode == RunMode::kKernelSpin) {
+        // Reclassify kernel-spin time out of the "running" stall bucket: this
+        // is the lock-holder-preemption tax. User spin stays "running" — it is
+        // the application's own busy-wait choice, not a virtualization stall.
+        VSCALE_STALL_HOOK(OnSpinAdvance(domain_.id(), vcpu, rem));
+      }
       if (t->run_mode == RunMode::kKernelSpin && t->waiting_lock >= 0) {
         kernel_locks_[static_cast<size_t>(t->waiting_lock)].total_spin_wait += rem;
       }
@@ -202,6 +209,7 @@ void GuestKernel::DeliverEvent(VcpuId vcpu, EvtchnPort port) {
     c.pending_kernel_ns += cost_.ipi_deliver_cost;
     VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "ipi_recv",
                              domain_.id(), c.id, -1, "port", port);
+    VSCALE_STALL_HOOK(OnIpiDelivered(domain_.id(), c.id, hv_.Now()));
     HandleReschedIpi(c);
   } else if (port == kPortPvlockKick) {
     // The kicked waiter already owns the lock (granted before the kick); just resume.
@@ -309,6 +317,23 @@ void GuestKernel::MaybeGoIdle(GuestCpu& c) {
   }
   // Dynamic ticks: a truly idle vCPU receives no timer interrupts (paper Table 2).
   c.next_tick = kTimeNever;
+  if (obs_internal::g_stall_enabled) {
+    // Tell the accountant why this vCPU is about to block: futex-blocked if a
+    // thread of this CPU sleeps in a barrier/mutex/condvar slow path, idle
+    // otherwise. Read-only scan; the hypervisor consumes it at the desched.
+    StallBlockReason reason = StallBlockReason::kIdle;
+    for (const auto& t : threads_) {
+      if (t->cpu == c.id && t->state == ThreadState::kBlocked && t->op_active &&
+          t->op_phase == 3 &&
+          (t->op.kind == Op::Kind::kBarrierWait ||
+           t->op.kind == Op::Kind::kMutexLock ||
+           t->op.kind == Op::Kind::kCondWait)) {
+        reason = StallBlockReason::kFutex;
+        break;
+      }
+    }
+    StallAccountant::Global().SetBlockReason(domain_.id(), c.id, reason);
+  }
   hv_.BlockVcpu(domain_.id(), c.id);
 }
 
@@ -374,6 +399,7 @@ TimeNs GuestKernel::FreezeCpu(int target) {
   assert(target != 0 && "vCPU0 (the master) is never frozen");
   VSCALE_TRACE_INSTANT(hv_.Now(), TraceCategory::kGuest, "freeze", domain_.id(),
                        target, -1);
+  VSCALE_STALL_HOOK(OnFreezeRequested(domain_.id(), target, hv_.Now()));
   // Master-side steps, in the order of Algorithm 2 / Table 3:
   // (1)-(2) set cpu_freeze_mask bit; other vCPUs stop pushing tasks here.
   c.frozen = true;
@@ -383,6 +409,7 @@ TimeNs GuestKernel::FreezeCpu(int target) {
   hv_.NotifyFreeze(domain_.id(), target, true);
   // (5) reschedule IPI tickles the target's scheduler to migrate its load.
   c.evacuate_pending = true;
+  VSCALE_STALL_HOOK(OnIpiSent(domain_.id(), target, hv_.Now()));
   hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
   return cost_.freeze_syscall + cost_.freeze_lock + cost_.freeze_mask_update +
          cost_.freeze_group_power_update + cost_.freeze_hypercall +
@@ -399,6 +426,7 @@ TimeNs GuestKernel::UnfreezeCpu(int target) {
   UpdateGroupPower();
   hv_.NotifyFreeze(domain_.id(), target, false);
   // wake_up_idle_cpu(): the target will idle-balance and pull threads over.
+  VSCALE_STALL_HOOK(OnIpiSent(domain_.id(), target, hv_.Now()));
   hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
   return cost_.freeze_syscall + cost_.freeze_lock + cost_.freeze_mask_update +
          cost_.freeze_group_power_update + cost_.freeze_hypercall +
@@ -612,9 +640,11 @@ TimeNs GuestKernel::HotplugRemove(int target, TimeNs modeled_latency) {
   }
   GuestCpu& c = cpus_[static_cast<size_t>(target)];
   c.frozen = true;
+  VSCALE_STALL_HOOK(OnFreezeRequested(domain_.id(), target, hv_.Now()));
   UpdateGroupPower();
   hv_.NotifyFreeze(domain_.id(), target, true);
   c.evacuate_pending = true;
+  VSCALE_STALL_HOOK(OnIpiSent(domain_.id(), target, hv_.Now()));
   hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
   return modeled_latency;
 }
@@ -632,6 +662,7 @@ TimeNs GuestKernel::HotplugAdd(int target, TimeNs modeled_latency) {
   c.evacuate_pending = false;
   UpdateGroupPower();
   hv_.NotifyFreeze(domain_.id(), target, false);
+  VSCALE_STALL_HOOK(OnIpiSent(domain_.id(), target, hv_.Now()));
   hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
   return modeled_latency;
 }

@@ -8,6 +8,7 @@
 
 #include "src/base/trace.h"
 #include "src/guest/kernel.h"
+#include "src/obs/stall_accounting.h"
 
 namespace vscale {
 
@@ -144,6 +145,11 @@ void GuestKernel::SendReschedIpi(int from_cpu, int to_cpu, EvtchnPort port) {
   (void)from_cpu;  // only the trace hook reads it
   VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "ipi_send",
                            domain_.id(), from_cpu, -1, "to", to_cpu);
+  if (port == kPortResched || port == kPortFreeze) {
+    // Timer wakeups ride the same helper but are not IPIs; only scheduler
+    // kicks feed the send->delivery latency histogram.
+    VSCALE_STALL_HOOK(OnIpiSent(domain_.id(), to_cpu, hv_.Now()));
+  }
   hv_.NotifyEvent(domain_.id(), to_cpu, port, /*urgent=*/false);
 }
 

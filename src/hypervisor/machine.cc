@@ -6,6 +6,7 @@
 #include "src/base/check.h"
 #include "src/base/log.h"
 #include "src/base/trace.h"
+#include "src/obs/stall_accounting.h"
 
 namespace vscale {
 
@@ -43,6 +44,7 @@ Domain& Machine::CreateDomain(const std::string& name, int weight, int n_vcpus) 
     v.credit_ns = config_.cost.hv_accounting_period;
     v.priority = CreditPriority::kUnder;
     v.wait_since = sim_.Now();
+    VSCALE_STALL_HOOK(OnVcpuCreated(id, i, sim_.Now()));
   }
   return d;
 }
@@ -222,6 +224,7 @@ void Machine::RunOn(Pcpu& p, Vcpu& v) {
   // the matching VSCALE_TRACE_END in DescheduleCurrent.
   VSCALE_TRACE_BEGIN(now, TraceCategory::kHypervisor, "run", v.domain()->id(),
                      v.id(), p.id);
+  VSCALE_STALL_HOOK(OnDispatch(v.domain()->id(), v.id(), now));
   GuestOs* guest = v.domain()->guest();
   guest->OnScheduledIn(v.id(), now);
   DrainPendingPorts(v);
@@ -255,6 +258,9 @@ void Machine::SettleRunning(Vcpu& v) {
   Domain& d = *v.domain();
   d.consumed_in_window += elapsed;
   d.consumed_in_acct_window += elapsed;
+  // Attribute the running time before the guest advances: the guest's Advance
+  // reclassifies any kernel-spin portion of `elapsed` via OnSpinAdvance.
+  VSCALE_STALL_HOOK(OnRunningAdvance(d.id(), v.id(), elapsed));
   d.guest()->Advance(v.id(), elapsed);
 }
 
@@ -309,6 +315,8 @@ void Machine::DescheduleCurrent(Pcpu& p, VcpuState new_state, bool requeue_tail)
   }
   v.state = new_state;
   v.wait_since = now;
+  VSCALE_STALL_HOOK(OnDesched(v.domain()->id(), v.id(), now,
+                              new_state == VcpuState::kRunnable));
   if (new_state == VcpuState::kRunnable) {
     // Slice-end requeues stay local (no idler tickle): in Xen a descheduled vCPU
     // lingers on its pCPU's runq until an idler's load balance finds it.
@@ -328,6 +336,7 @@ void Machine::WakeVcpu(Vcpu& v, bool boost_eligible) {
   }
   v.state = VcpuState::kRunnable;
   v.wait_since = now;
+  VSCALE_STALL_HOOK(OnWake(v.domain()->id(), v.id(), now));
   VSCALE_TRACE_INSTANT_ARG(now, TraceCategory::kHypervisor, "vcpu_wake",
                            v.domain()->id(), v.id(), v.pcpu, "boost",
                            v.priority == CreditPriority::kBoost ? 1 : 0);
@@ -409,6 +418,11 @@ void Machine::HvTick() {
     }
     MaybePreempt(p);
   }
+  // Stall-accounting sampler: piggybacks on this pre-existing periodic event
+  // (never schedules its own), so enabling it cannot perturb the DES event
+  // sequence. Every running vCPU was just settled to Now(), which is what
+  // makes the bucket-exhaustiveness check exact here.
+  VSCALE_STALL_HOOK(Sample(sim_.Now()));
 }
 
 void Machine::Accounting() {
@@ -607,6 +621,7 @@ void Machine::NotifyEvent(DomainId dom, VcpuId target, EvtchnPort port, bool urg
     case VcpuState::kBlocked: {
       pending_ports_[static_cast<size_t>(GlobalIndex(v))].push_back(port);
       WakeVcpu(v, /*boost_eligible=*/true);
+      VSCALE_STALL_HOOK(OnEventPosted(dom, target, sim_.Now()));
       break;
     }
     case VcpuState::kRunnable: {
@@ -623,6 +638,7 @@ void Machine::NotifyEvent(DomainId dom, VcpuId target, EvtchnPort port, bool urg
         }
         InsertRunnable(v, /*at_head_of_prio=*/true);
       }
+      VSCALE_STALL_HOOK(OnEventPosted(dom, target, sim_.Now()));
       break;
     }
     case VcpuState::kRunning: {
@@ -654,6 +670,8 @@ void Machine::PollVcpu(DomainId dom, VcpuId vcpu, EvtchnPort port) {
   }
   Pcpu& p = PcpuOf(v);
   SettleRunning(v);
+  // A poll-block is the pv-spinlock halt path: lock-related, not idle.
+  VSCALE_STALL_HOOK(SetBlockReason(dom, vcpu, StallBlockReason::kFutex));
   DescheduleCurrent(p, VcpuState::kBlocked);
   v.polling = true;
   v.poll_port = port;
@@ -663,6 +681,7 @@ void Machine::PollVcpu(DomainId dom, VcpuId vcpu, EvtchnPort port) {
 void Machine::NotifyFreeze(DomainId dom, VcpuId vcpu, bool frozen) {
   Vcpu& v = GetVcpu(dom, vcpu);
   v.frozen = frozen;
+  VSCALE_STALL_HOOK(OnFrozenChanged(dom, vcpu, sim_.Now(), frozen));
   VSCALE_TRACE_INSTANT_ARG(sim_.Now(), TraceCategory::kHypervisor, "hv_freeze", dom,
                            vcpu, v.pcpu, "frozen", frozen ? 1 : 0);
   if (!frozen) {
@@ -769,11 +788,14 @@ void Machine::SetStolenPcpus(int n) {
       if (p.current != nullptr) {
         SettleRunning(*p.current);
         ++p.current->preemptions;
+        Vcpu& evicted = *p.current;
         VSCALE_TRACE_INSTANT(now, TraceCategory::kHypervisor, "steal_evict",
-                             p.current->domain()->id(), p.current->id(), p.id);
+                             evicted.domain()->id(), evicted.id(), p.id);
         // InsertRunnable sees p already marked stolen, so the requeue re-places
         // the evicted vCPU on a surviving pCPU right away.
         DescheduleCurrent(p, VcpuState::kRunnable);
+        VSCALE_STALL_HOOK(
+            OnStealDisplaced(evicted.domain()->id(), evicted.id(), now));
       } else {
         // Close the idle window: the burst counts as stolen time, not idle time.
         p.total_idle += now - p.idle_since;
@@ -793,6 +815,7 @@ void Machine::SetStolenPcpus(int n) {
   // Pass 2: the hypervisor migrates the stolen pCPUs' queues to surviving ones.
   for (Vcpu* v : displaced) {
     v->pcpu = -1;
+    VSCALE_STALL_HOOK(OnStealDisplaced(v->domain()->id(), v->id(), now));
     InsertRunnable(*v);
   }
   for (Pcpu* p : freed) {

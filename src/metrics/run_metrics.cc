@@ -1,5 +1,7 @@
 #include "src/metrics/run_metrics.h"
 
+#include "src/base/trace.h"
+
 namespace vscale {
 
 void RegisterMachineMetrics(MetricsRegistry& registry, Machine& machine,
@@ -7,6 +9,12 @@ void RegisterMachineMetrics(MetricsRegistry& registry, Machine& machine,
   Machine* m = &machine;
   registry.RegisterGauge(prefix + "sim.events_processed", [m] {
     return static_cast<int64_t>(m->sim().events_processed());
+  });
+  // Unprefixed on purpose: the tracer ring is global, so one machine's drop
+  // count is everyone's drop count. A nonzero value means trace-derived
+  // figures (and trace_lint verdicts) looked at a truncated window.
+  registry.RegisterGauge("trace.events_dropped", [] {
+    return static_cast<int64_t>(GlobalTracer().dropped());
   });
   registry.RegisterGauge(prefix + "hv.context_switches",
                          [m] { return m->context_switches(); });

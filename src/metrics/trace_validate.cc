@@ -1,6 +1,7 @@
 #include "src/metrics/trace_validate.h"
 
 #include <cctype>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <vector>
@@ -324,6 +325,10 @@ bool ValidateChromeTrace(const std::string& json, std::string* error,
   TraceStats local;
   std::map<std::pair<int, int>, double> last_ts;
   std::map<std::pair<int, int>, std::vector<std::string>> open;
+  // Cumulative-counter monotonicity, keyed per (pid, counter name): the
+  // StallAccountant's stall_* tracks are running totals, so a decrease means
+  // the sampler double-flushed or attributed negative time.
+  std::map<std::pair<int, std::string>, double> last_counter;
 
   for (size_t i = 0; i < events->arr.size(); ++i) {
     const JsonValue& ev = events->arr[i];
@@ -380,8 +385,46 @@ bool ValidateChromeTrace(const std::string& json, std::string* error,
       }
       case 'i':
       case 'I':
-      case 'C':
         break;
+      case 'C': {
+        const JsonValue* args = ev.Get("args");
+        if (args == nullptr || args->kind != JsonValue::Kind::kObject ||
+            args->obj.empty()) {
+          return fail(Describe(i, "'C' event without an args object"));
+        }
+        double value = 0.0;
+        bool have_value = false;
+        for (const auto& [key, v] : args->obj) {
+          (void)key;
+          if (v.kind != JsonValue::Kind::kNumber || !std::isfinite(v.num)) {
+            return fail(Describe(
+                i, "'C' event \"" + name->str + "\" has a non-finite or "
+                   "non-numeric args value"));
+          }
+          value = v.num;
+          have_value = true;
+        }
+        if (!have_value) {
+          return fail(Describe(i, "'C' event without a numeric args value"));
+        }
+        if (name->str.compare(0, 6, "stall_") == 0) {
+          // A decrease is legal only when it is an explicit reset to zero: the
+          // accountant emits an all-zero sample when a new run restarts a
+          // domain's cumulative tracks on a shared timeline.
+          const std::pair<int, std::string> ckey{pid, name->str};
+          auto cit = last_counter.find(ckey);
+          if (cit != last_counter.end() && value < cit->second &&
+              value != 0.0) {
+            return fail(Describe(
+                i, "cumulative counter \"" + name->str + "\" decreases on pid=" +
+                   std::to_string(pid) + " without resetting to zero"));
+          }
+          last_counter[ckey] = value;
+        }
+        ++local.counters;
+        local.counter_names.insert(name->str);
+        break;
+      }
       default:
         return fail(Describe(i, std::string("unsupported phase '") + phase + "'"));
     }

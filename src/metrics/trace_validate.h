@@ -6,7 +6,11 @@
 //  * every event has "ph", "pid", "tid"/"ts" as the phase requires;
 //  * per (pid, tid) track, timestamps are monotonically non-decreasing;
 //  * duration events balance: every 'E' closes an open 'B' on its track and no 'B'
-//    is left open at the end.
+//    is left open at the end;
+//  * counter ('C') events carry a finite numeric args value, and cumulative
+//    stall_* counter tracks (the StallAccountant's per-domain bucket series)
+//    never decrease per (pid, name) except by an explicit reset to zero (a new
+//    run restarting the track on a shared timeline).
 
 #ifndef VSCALE_SRC_METRICS_TRACE_VALIDATE_H_
 #define VSCALE_SRC_METRICS_TRACE_VALIDATE_H_
@@ -20,9 +24,11 @@ namespace vscale {
 // Aggregates of a validated trace, for acceptance checks and test assertions.
 struct TraceStats {
   size_t events = 0;                         // non-metadata events
+  size_t counters = 0;                       // 'C' phase events
   std::set<std::string> categories;          // distinct "cat" values
   std::set<std::pair<int, int>> tracks;      // distinct (pid, tid)
   std::set<int> domain_pids;                 // pids >= kTraceDomainPidBase
+  std::set<std::string> counter_names;       // distinct 'C' event names
 };
 
 // Returns true when `json` is a valid Chrome trace per the checks above. On failure

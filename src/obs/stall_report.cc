@@ -1,0 +1,262 @@
+#include "src/obs/stall_report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "src/base/table.h"
+#include "src/base/time.h"
+
+namespace vscale {
+
+namespace {
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  size_t pos = 0;
+  try {
+    *out = std::stoll(s, &pos);
+  } catch (...) {
+    return false;
+  }
+  return pos == s.size();
+}
+
+std::string ShareCell(int64_t part, int64_t whole) {
+  double share = whole > 0 ? 100.0 * static_cast<double>(part) /
+                                 static_cast<double>(whole)
+                           : 0.0;
+  return TextTable::Num(share, 1) + "%";
+}
+
+}  // namespace
+
+bool LoadStallCsv(std::istream& is, StallSeries* out, std::string* error) {
+  out->rows.clear();
+  out->runs.clear();
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!saw_header) {
+      saw_header = true;
+      if (line != "run,ts_ns,domain,vcpu,bucket,cum_ns") {
+        if (error != nullptr) {
+          *error = "line 1: expected stall CSV header, got \"" + line + "\"";
+        }
+        return false;
+      }
+      continue;
+    }
+    std::stringstream ss(line);
+    std::string field[6];
+    for (int i = 0; i < 6; ++i) {
+      if (!std::getline(ss, field[i], ',')) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(lineno) + ": expected 6 fields";
+        }
+        return false;
+      }
+    }
+    StallRow row;
+    row.run = field[0];
+    int64_t ts = 0, dom = 0, vcpu = 0, cum = 0;
+    if (!ParseInt64(field[1], &ts) || !ParseInt64(field[2], &dom) ||
+        !ParseInt64(field[3], &vcpu) || !ParseInt64(field[5], &cum) ||
+        !ParseStallBucket(field[4], &row.bucket)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": malformed row \"" +
+                 line + "\"";
+      }
+      return false;
+    }
+    row.ts = ts;
+    row.domain = static_cast<int>(dom);
+    row.vcpu = static_cast<int>(vcpu);
+    row.cum_ns = cum;
+    if (std::find(out->runs.begin(), out->runs.end(), row.run) ==
+        out->runs.end()) {
+      out->runs.push_back(row.run);
+    }
+    out->rows.push_back(std::move(row));
+  }
+  if (!saw_header) {
+    if (error != nullptr) *error = "empty input: no stall CSV header";
+    return false;
+  }
+  return true;
+}
+
+int64_t VcpuBlame::WallNs() const {
+  int64_t total = 0;
+  for (int64_t v : ns) total += v;
+  return total;
+}
+
+int64_t VcpuBlame::SchedStallNs() const {
+  return ns[static_cast<int>(StallBucket::kRunnableWaitingPcpu)] +
+         ns[static_cast<int>(StallBucket::kLhpSpinning)] +
+         ns[static_cast<int>(StallBucket::kIpiInFlight)] +
+         ns[static_cast<int>(StallBucket::kStolen)];
+}
+
+int64_t DomainBlame::WallNs() const {
+  int64_t total = 0;
+  for (int64_t v : ns) total += v;
+  return total;
+}
+
+int64_t DomainBlame::SchedStallNs() const {
+  return ns[static_cast<int>(StallBucket::kRunnableWaitingPcpu)] +
+         ns[static_cast<int>(StallBucket::kLhpSpinning)] +
+         ns[static_cast<int>(StallBucket::kIpiInFlight)] +
+         ns[static_cast<int>(StallBucket::kStolen)];
+}
+
+std::vector<VcpuBlame> BuildVcpuBlame(const StallSeries& series) {
+  // (run, domain, vcpu) -> latest timestamp wins; rows arrive in time order
+  // per run, so "last write wins" would also do, but be explicit about it.
+  struct Acc {
+    TimeNs ts = -1;
+    int64_t ns[kStallBucketCount] = {};
+  };
+  std::map<std::tuple<std::string, int, int>, Acc> acc;
+  for (const StallRow& row : series.rows) {
+    if (row.vcpu < 0) continue;
+    Acc& a = acc[{row.run, row.domain, row.vcpu}];
+    if (row.ts > a.ts) {
+      a.ts = row.ts;
+      for (int i = 0; i < kStallBucketCount; ++i) a.ns[i] = 0;
+    }
+    if (row.ts == a.ts) a.ns[static_cast<int>(row.bucket)] = row.cum_ns;
+  }
+  std::vector<VcpuBlame> out;
+  out.reserve(acc.size());
+  for (const auto& [key, a] : acc) {
+    VcpuBlame b;
+    b.run = std::get<0>(key);
+    b.domain = std::get<1>(key);
+    b.vcpu = std::get<2>(key);
+    for (int i = 0; i < kStallBucketCount; ++i) b.ns[i] = a.ns[i];
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<DomainBlame> BuildDomainBlame(const std::vector<VcpuBlame>& vcpus) {
+  std::map<std::pair<std::string, int>, DomainBlame> acc;
+  for (const VcpuBlame& v : vcpus) {
+    DomainBlame& d = acc[{v.run, v.domain}];
+    d.run = v.run;
+    d.domain = v.domain;
+    ++d.vcpus;
+    for (int i = 0; i < kStallBucketCount; ++i) d.ns[i] += v.ns[i];
+  }
+  std::vector<DomainBlame> out;
+  out.reserve(acc.size());
+  for (auto& [key, d] : acc) out.push_back(std::move(d));
+  return out;
+}
+
+double DomainBucketShare(const std::vector<DomainBlame>& domains,
+                         const std::string& run, int domain, StallBucket b) {
+  for (const DomainBlame& d : domains) {
+    if (d.run == run && d.domain == domain) {
+      int64_t wall = d.WallNs();
+      if (wall <= 0) return 0.0;
+      return static_cast<double>(d.ns[static_cast<int>(b)]) /
+             static_cast<double>(wall);
+    }
+  }
+  return 0.0;
+}
+
+void PrintBlameReport(const StallSeries& series, int top_n, std::ostream& os) {
+  std::vector<VcpuBlame> vcpus = BuildVcpuBlame(series);
+  std::vector<DomainBlame> domains = BuildDomainBlame(vcpus);
+  if (vcpus.empty()) {
+    os << "no per-vCPU stall totals in input\n";
+    return;
+  }
+
+  for (const std::string& run : series.runs) {
+    os << "== run: " << run << " — per-domain stall decomposition ==\n";
+    TextTable table({"domain", "vcpus", "wall_s", "running", "runnable_wait",
+                     "lhp_spin", "futex", "ipi", "frozen", "stolen", "idle"});
+    for (const DomainBlame& d : domains) {
+      if (d.run != run) continue;
+      int64_t wall = d.WallNs();
+      table.AddRow({TextTable::Int(d.domain), TextTable::Int(d.vcpus),
+                    TextTable::Num(ToSeconds(wall), 2),
+                    ShareCell(d.ns[0], wall), ShareCell(d.ns[1], wall),
+                    ShareCell(d.ns[2], wall), ShareCell(d.ns[3], wall),
+                    ShareCell(d.ns[4], wall), ShareCell(d.ns[5], wall),
+                    ShareCell(d.ns[6], wall), ShareCell(d.ns[7], wall)});
+    }
+    os << table.Render() << "\n";
+  }
+
+  os << "== top " << top_n
+     << " offenders by scheduler-attributable stall "
+        "(runnable_wait + lhp_spin + ipi + stolen) ==\n";
+  std::vector<const VcpuBlame*> ranked;
+  ranked.reserve(vcpus.size());
+  for (const VcpuBlame& v : vcpus) ranked.push_back(&v);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const VcpuBlame* x, const VcpuBlame* y) {
+                     return x->SchedStallNs() > y->SchedStallNs();
+                   });
+  TextTable offenders({"rank", "run", "domain", "vcpu", "sched_stall_ms",
+                       "stall_share", "worst_bucket"});
+  int rank = 0;
+  for (const VcpuBlame* v : ranked) {
+    if (rank >= top_n) break;
+    ++rank;
+    int worst = 1;
+    const int blame_buckets[] = {
+        static_cast<int>(StallBucket::kRunnableWaitingPcpu),
+        static_cast<int>(StallBucket::kLhpSpinning),
+        static_cast<int>(StallBucket::kIpiInFlight),
+        static_cast<int>(StallBucket::kStolen)};
+    for (int b : blame_buckets) {
+      if (v->ns[b] > v->ns[worst]) worst = b;
+    }
+    offenders.AddRow(
+        {TextTable::Int(rank), v->run, TextTable::Int(v->domain),
+         TextTable::Int(v->vcpu),
+         TextTable::Num(ToMilliseconds(v->SchedStallNs()), 2),
+         ShareCell(v->SchedStallNs(), v->WallNs()),
+         ToString(static_cast<StallBucket>(worst))});
+  }
+  os << offenders.Render() << "\n";
+
+  if (series.runs.size() >= 2) {
+    const std::string& a = series.runs[0];
+    const std::string& b = series.runs[1];
+    os << "== share shift: " << a << " -> " << b
+       << " (positive = less time in bucket under " << b << ") ==\n";
+    TextTable shift({"domain", "bucket", a, b, "drop_pp"});
+    for (const DomainBlame& d : domains) {
+      if (d.run != a) continue;
+      for (int i = 0; i < kStallBucketCount; ++i) {
+        double share_a =
+            DomainBucketShare(domains, a, d.domain, static_cast<StallBucket>(i));
+        double share_b =
+            DomainBucketShare(domains, b, d.domain, static_cast<StallBucket>(i));
+        if (share_a < 0.005 && share_b < 0.005) continue;
+        shift.AddRow({TextTable::Int(d.domain),
+                      ToString(static_cast<StallBucket>(i)),
+                      TextTable::Num(100.0 * share_a, 1) + "%",
+                      TextTable::Num(100.0 * share_b, 1) + "%",
+                      TextTable::Num(100.0 * (share_a - share_b), 1)});
+      }
+    }
+    os << shift.Render() << "\n";
+  }
+}
+
+}  // namespace vscale

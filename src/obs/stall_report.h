@@ -1,0 +1,79 @@
+// Blame-table construction over the StallAccountant CSV series — the analysis
+// half of the stall-attribution profiler (a `perf sched` + `lockstat` analogue
+// for the DES). tools/stall_report is a thin CLI over these functions; tests
+// drive them directly on in-memory runs.
+
+#ifndef VSCALE_SRC_OBS_STALL_REPORT_H_
+#define VSCALE_SRC_OBS_STALL_REPORT_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/stall_accounting.h"
+
+namespace vscale {
+
+// One parsed CSV record (one bucket of one sample row).
+struct StallRow {
+  std::string run;
+  TimeNs ts = 0;
+  int domain = 0;
+  int vcpu = -1;  // -1 = per-domain aggregate sample
+  StallBucket bucket = StallBucket::kRunning;
+  int64_t cum_ns = 0;
+};
+
+struct StallSeries {
+  std::vector<StallRow> rows;
+  std::vector<std::string> runs;  // distinct run labels, first-seen order
+};
+
+// Parses a StallAccountant::WriteCsv stream. Returns false (with a
+// line-numbered message in `error`) on malformed input.
+bool LoadStallCsv(std::istream& is, StallSeries* out, std::string* error);
+
+// Final totals for one vCPU of one run (from the vcpu >= 0 rows; the
+// latest-timestamped set wins, so partial mid-run samples are superseded).
+struct VcpuBlame {
+  std::string run;
+  int domain = 0;
+  int vcpu = 0;
+  int64_t ns[kStallBucketCount] = {};
+
+  int64_t WallNs() const;
+  // Hypervisor-attributable stall: runnable-wait + LHP spin + IPI in flight +
+  // stolen. Excludes futex/idle (application-intrinsic) and frozen
+  // (intentional parking by the balancer). This is the offender-ranking key.
+  int64_t SchedStallNs() const;
+};
+
+std::vector<VcpuBlame> BuildVcpuBlame(const StallSeries& series);
+
+// Per-domain sums of the per-vCPU totals.
+struct DomainBlame {
+  std::string run;
+  int domain = 0;
+  int vcpus = 0;
+  int64_t ns[kStallBucketCount] = {};
+
+  int64_t WallNs() const;
+  int64_t SchedStallNs() const;
+};
+
+std::vector<DomainBlame> BuildDomainBlame(const std::vector<VcpuBlame>& vcpus);
+
+// Fraction of `domain`'s wall time spent in `b` during `run`; 0 if absent.
+double DomainBucketShare(const std::vector<DomainBlame>& domains,
+                         const std::string& run, int domain, StallBucket b);
+
+// Renders the full report: per-domain blame table per run, top-N offender
+// ranking by SchedStallNs across all runs, and (when the series holds at
+// least two runs) a per-domain share-shift comparison of the first two.
+void PrintBlameReport(const StallSeries& series, int top_n, std::ostream& os);
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_OBS_STALL_REPORT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/trace.h"
+#include "src/obs/stall_accounting.h"
 
 namespace vscale {
 
@@ -10,6 +11,7 @@ VscaleBalancer::ApplyOutcome VscaleBalancer::ApplyTarget(int target) {
   target = std::clamp(target, 1, kernel_.n_cpus());
   VSCALE_TRACE_INSTANT_ARG(kernel_.NowNs(), TraceCategory::kVscale, "apply_target",
                            kernel_.domain().id(), -1, -1, "target", target);
+  VSCALE_STALL_HOOK(OnApplyTarget(kernel_.domain().id(), target));
   ApplyOutcome out;
   int active = kernel_.online_cpus();
   // A freeze/unfreeze op that the fault plane fails burns its syscall entry before

@@ -2,8 +2,19 @@
 
 #include "src/base/metrics_registry.h"
 #include "src/metrics/run_metrics.h"
+#include "src/obs/stall_accounting.h"
 
 namespace vscale {
+
+namespace {
+// Harness-wide default (Testbed::SetStallAccountingDefault); OR-ed with each
+// TestbedConfig's stall_accounting flag at construction.
+bool g_stall_accounting_default = false;
+}  // namespace
+
+void Testbed::SetStallAccountingDefault(bool enabled) {
+  g_stall_accounting_default = enabled;
+}
 
 const char* ToString(Policy p) {
   switch (p) {
@@ -37,6 +48,14 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     config_.background_vms = std::max(0, (target_vcpus - config_.primary_vcpus) / 2);
   } else if (config_.background_vms < 0) {
     config_.background_vms = 0;  // dedicated machine
+  }
+
+  // Arm the stall accountant before the machine exists so the per-vCPU birth
+  // hooks in CreateDomain land in this run's timeline.
+  stall_enabled_ = config_.stall_accounting || g_stall_accounting_default;
+  if (stall_enabled_) {
+    StallAccountant::Global().BeginRun(
+        SanitizeMetricName(ToString(config_.policy)));
   }
 
   MachineConfig mc;
@@ -162,6 +181,14 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
 }
 
 Testbed::~Testbed() {
+  if (stall_enabled_) {
+    // Close the stall timeline at the machine's final time and publish the
+    // totals before gauge freezing, so one metrics CSV carries both.
+    StallAccountant& acct = StallAccountant::Global();
+    acct.FinishRun(sim().Now());
+    acct.PublishMetrics(MetricsRegistry::Global(),
+                        SanitizeMetricName(ToString(config_.policy)) + ".");
+  }
   // Gauges registered above hold references into this machine: materialize their
   // final values before teardown so later WriteCsv() calls stay valid.
   MetricsRegistry::Global().FreezeGauges();

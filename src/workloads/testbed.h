@@ -60,6 +60,10 @@ struct TestbedConfig {
   // The daemon-liveness watchdog, armed for vScale policies (no daemon, no watchdog).
   WatchdogConfig watchdog;
   bool enable_watchdog = true;
+  // Stall-attribution accounting (docs/OBSERVABILITY.md). Off by default; like
+  // tracing it never mutates simulation state, so an enabled run digests
+  // bit-identically to a disabled one (tools/digest_run --stall-check).
+  bool stall_accounting = false;
 };
 
 class Testbed {
@@ -83,6 +87,12 @@ class Testbed {
   // Runs until `stop` returns true or `deadline` passes; returns whether stop fired.
   bool RunUntil(const std::function<bool()>& stop, TimeNs deadline);
 
+  bool stall_enabled() const { return stall_enabled_; }
+  // Process-wide default for stall accounting, so harness flag parsing
+  // (bench/bench_common.h) can enable it without threading a field through
+  // every benchmark's config construction. OR-ed with config.stall_accounting.
+  static void SetStallAccountingDefault(bool enabled);
+
   // --- metric helpers over the primary VM ---
   TimeNs PrimaryWaitTime() const { return machine_->domain(0).TotalWait(); }
   TimeNs PrimaryRunTime() const { return machine_->domain(0).TotalRuntime(); }
@@ -91,6 +101,7 @@ class Testbed {
 
  private:
   TestbedConfig config_;
+  bool stall_enabled_ = false;
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<GuestKernel> primary_kernel_;
   std::vector<std::unique_ptr<GuestKernel>> background_kernels_;

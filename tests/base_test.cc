@@ -297,6 +297,81 @@ TEST(HistogramTest, ZeroAndNegativeGoToFirstBucket) {
   EXPECT_LE(h.Quantile(1.0), 1);
 }
 
+TEST(HistogramTest, EmptyIsAllZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.MeanNs(), 0.0);
+  EXPECT_EQ(h.Quantile(0.0), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.Quantile(1.0), 0);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(HistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.Add(Microseconds(10));
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), Microseconds(10));
+  EXPECT_EQ(h.max(), Microseconds(10));
+  EXPECT_EQ(h.MeanNs(), 10000.0);
+  // Any strictly-positive quantile lands in the sample's bucket, which clamps
+  // its upper bound to the observed max: the exact value comes back.
+  EXPECT_EQ(h.Quantile(0.5), Microseconds(10));
+  EXPECT_EQ(h.Quantile(1.0), Microseconds(10));
+  ASSERT_EQ(h.Cdf().size(), 1u);
+  EXPECT_EQ(h.Cdf()[0].value, Microseconds(10));
+  EXPECT_EQ(h.Cdf()[0].fraction, 1.0);
+}
+
+TEST(HistogramTest, AllEqualSamplesCollapseEveryQuantile) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(Microseconds(3));
+  }
+  EXPECT_EQ(h.Quantile(0.01), Microseconds(3));
+  EXPECT_EQ(h.Quantile(0.5), Microseconds(3));
+  EXPECT_EQ(h.Quantile(0.99), Microseconds(3));
+  EXPECT_EQ(h.Quantile(1.0), Microseconds(3));
+}
+
+TEST(HistogramTest, QuantileArgumentIsClampedAndMonotone) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(Microseconds(i));
+  }
+  // Out-of-range q clamps rather than misbehaving.
+  EXPECT_EQ(h.Quantile(-0.5), h.Quantile(0.0));
+  EXPECT_EQ(h.Quantile(1.5), h.Quantile(1.0));
+  // p100 is exactly the observed max; quantiles never regress as q grows.
+  EXPECT_EQ(h.Quantile(1.0), Microseconds(100));
+  TimeNs prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const TimeNs v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "quantile regressed at q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, BucketBoundaryValuesKeepRelativeResolution) {
+  // Powers of two sit exactly on octave boundaries — the worst case for a
+  // log-bucketed histogram. The ~3%-resolution promise must still hold.
+  LatencyHistogram h;
+  for (int shift = 4; shift <= 30; ++shift) {
+    LatencyHistogram one;
+    const TimeNs v = static_cast<TimeNs>(1) << shift;
+    one.Add(v);
+    one.Add(v + 1);
+    one.Add(v - 1);
+    const TimeNs p50 = one.Quantile(0.5);
+    EXPECT_GE(p50, v - 1 - (v >> 4));
+    EXPECT_LE(p50, v + 1 + (v >> 4));
+    h.Merge(one);
+  }
+  EXPECT_EQ(h.count(), 3 * 27);
+}
+
 // --- table ---
 
 TEST(TableTest, RendersAlignedColumns) {

@@ -9,6 +9,10 @@
 //
 //   digest_run --selftest            run every scenario twice in-process and
 //                                    fail on any digest mismatch (ctest entry)
+//   digest_run --stall-check         run the quickstart cell with stall
+//                                    attribution off then on; the machine/guest
+//                                    digests must match bit-for-bit (the
+//                                    profiler must be a pure observer)
 //   digest_run <scenario> [--seed N] run once, print "scenario seed digest"
 //   digest_run --list                list scenario names
 //
@@ -28,6 +32,7 @@
 #include "src/base/time.h"
 #include "src/faults/fault_plan.h"
 #include "src/metrics/state_digest.h"
+#include "src/obs/stall_accounting.h"
 #include "src/workloads/omp_app.h"
 #include "src/workloads/testbed.h"
 
@@ -40,12 +45,13 @@ using namespace vscale;
 // destructor freeze its gauges into the global registry.
 void RunCell(Policy policy, const char* app_name, int64_t spin_count,
              int64_t intervals, uint64_t seed, StateDigest* digest,
-             const char* fault_spec = nullptr) {
+             const char* fault_spec = nullptr, bool stall = false) {
   TestbedConfig cfg;
   cfg.policy = policy;
   cfg.primary_vcpus = 4;
   cfg.pool_pcpus = 4;  // 2 desktop VMs keep the pool consolidated
   cfg.seed = seed;
+  cfg.stall_accounting = stall;
   if (fault_spec != nullptr) {
     std::string error;
     if (!ParseFaultPlan(fault_spec, &cfg.faults, &error)) {
@@ -112,6 +118,54 @@ std::string Hex(uint64_t v) {
   return std::string(buf);
 }
 
+// Stall attribution must be a pure observer: a run with the StallAccountant on
+// has to replay to the same machine/guest digest as a run with it off. The
+// registry is deliberately NOT absorbed here — the stall-on run legitimately
+// publishes extra stall.* metrics; what must not move is the simulation itself.
+uint64_t DigestQuickstartSim(uint64_t seed, bool stall) {
+  MetricsRegistry::Global().Clear();
+  StateDigest digest;
+  RunCell(Policy::kBaseline, "lu", kSpinCountDefault, 40, seed, &digest,
+          nullptr, stall);
+  RunCell(Policy::kVscale, "lu", kSpinCountDefault, 40, seed, &digest, nullptr,
+          stall);
+  MetricsRegistry::Global().Clear();
+  return digest.value();
+}
+
+int StallCheck(uint64_t seed) {
+  StallAccountant::Global().Reset();
+  const uint64_t off = DigestQuickstartSim(seed, false);
+  const uint64_t on = DigestQuickstartSim(seed, true);
+  const int64_t samples = StallAccountant::Global().samples();
+  const int64_t failures = StallAccountant::Global().exhaustive_failures();
+  StallAccountant::Global().Reset();
+  if (samples <= 0) {
+    std::fprintf(stderr,
+                 "digest_run: --stall-check vacuous: accountant took no "
+                 "samples in the stall-on run\n");
+    return 1;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr,
+                 "digest_run: --stall-check: %lld exhaustiveness failure(s) — "
+                 "some simulated time escaped the bucket decomposition\n",
+                 static_cast<long long>(failures));
+    return 1;
+  }
+  if (off != on) {
+    std::fprintf(stderr,
+                 "digest_run: stall accounting perturbed the simulation: "
+                 "off=%s on=%s\n",
+                 Hex(off).c_str(), Hex(on).c_str());
+    return 1;
+  }
+  std::printf("digest_run: stall-check OK: digest %s identical with stall "
+              "attribution off and on (%lld samples)\n",
+              Hex(on).c_str(), static_cast<long long>(samples));
+  return 0;
+}
+
 int SelfTest(uint64_t seed) {
   int failures = 0;
   for (const Scenario& s : kScenarios) {
@@ -150,9 +204,12 @@ int main(int argc, char** argv) {
   uint64_t seed = 7;
   const char* scenario = nullptr;
   bool selftest = false;
+  bool stall_check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--selftest") == 0) {
       selftest = true;
+    } else if (std::strcmp(argv[i], "--stall-check") == 0) {
+      stall_check = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -165,9 +222,13 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: digest_run --selftest [--seed N] | "
+                   "digest_run --stall-check [--seed N] | "
                    "digest_run <scenario> [--seed N] | digest_run --list\n");
       return 2;
     }
+  }
+  if (stall_check) {
+    return StallCheck(seed);
   }
   if (selftest) {
     return SelfTest(seed);

@@ -11,6 +11,12 @@
 //       events from all four layers (sim, hypervisor, guest, vscale) across at
 //       least two domains. Prints "skipped" and exits 0 when the binary was built
 //       with -DVSCALE_TRACE=OFF.
+//
+//   trace_lint --stall-selftest
+//       Same miniature testbed with stall attribution ALSO enabled: validates
+//       the exported trace (which now exercises the counter-track rules —
+//       finite values, stall_* monotone per pid) and requires the eight
+//       StallAccountant bucket counter tracks to be present.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +28,7 @@
 #include "src/base/trace.h"
 #include "src/metrics/trace_export.h"
 #include "src/metrics/trace_validate.h"
+#include "src/obs/stall_accounting.h"
 #include "src/workloads/omp_app.h"
 #include "src/workloads/testbed.h"
 
@@ -53,12 +60,14 @@ int Lint(const std::string& json, size_t min_categories, size_t min_domains,
   return 0;
 }
 
-int SelfTest() {
+int SelfTest(bool stall) {
 #if !VSCALE_TRACE
+  (void)stall;
   std::printf("trace_lint: selftest skipped (built with VSCALE_TRACE=OFF)\n");
   return 0;
 #else
   using namespace vscale;
+  const char* label = stall ? "stall-selftest" : "selftest";
   GlobalTracer().Clear();
   GlobalTracer().Enable();
 
@@ -68,6 +77,7 @@ int SelfTest() {
     cfg.primary_vcpus = 4;
     cfg.pool_pcpus = 4;   // small but contended: 2 desktops keep it consolidated
     cfg.seed = 7;
+    cfg.stall_accounting = stall;
     Testbed bed(cfg);
     OmpAppConfig app_cfg = NpbProfile("lu", cfg.primary_vcpus, kSpinCountActive);
     app_cfg.intervals = 40;  // a short run: enough for ticks + freezes to fire
@@ -80,7 +90,44 @@ int SelfTest() {
   GlobalTracer().Disable();
   std::ostringstream os;
   WriteChromeTrace(GlobalTracer(), os);
-  return Lint(os.str(), /*min_categories=*/4, /*min_domains=*/2, "selftest");
+  const int rc = Lint(os.str(), /*min_categories=*/4, /*min_domains=*/2, label);
+  if (rc != 0 || !stall) {
+    return rc;
+  }
+
+  // The stall run must have produced every bucket's counter track (validation
+  // above already proved them finite and monotone per pid).
+  std::string error;
+  TraceStats stats;
+  if (!ValidateChromeTrace(os.str(), &error, &stats)) {
+    std::fprintf(stderr, "trace_lint: %s: INVALID: %s\n", label, error.c_str());
+    return 1;
+  }
+  static const char* kStallTracks[] = {
+      "stall_running_ns", "stall_runnable_ns", "stall_lhp_ns",
+      "stall_futex_ns",   "stall_ipi_ns",      "stall_frozen_ns",
+      "stall_stolen_ns",  "stall_idle_ns",
+  };
+  int missing = 0;
+  for (const char* track : kStallTracks) {
+    if (stats.counter_names.count(track) == 0) {
+      std::fprintf(stderr, "trace_lint: %s: missing counter track %s\n", label,
+                   track);
+      ++missing;
+    }
+  }
+  if (missing != 0) {
+    return 1;
+  }
+  if (StallAccountant::Global().exhaustive_failures() != 0) {
+    std::fprintf(stderr, "trace_lint: %s: stall bucket decomposition was not "
+                         "exhaustive\n", label);
+    return 1;
+  }
+  std::printf("trace_lint: %s: %zu counter events across %zu tracks, all 8 "
+              "stall buckets present\n",
+              label, stats.counters, stats.counter_names.size());
+  return 0;
 #endif
 }
 
@@ -88,12 +135,16 @@ int SelfTest() {
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--selftest") == 0) {
-    return SelfTest();
+    return SelfTest(/*stall=*/false);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--stall-selftest") == 0) {
+    return SelfTest(/*stall=*/true);
   }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: trace_lint <trace.json> [--min-categories N] "
-                 "[--min-domains N] | trace_lint --selftest\n");
+                 "[--min-domains N] | trace_lint --selftest | "
+                 "trace_lint --stall-selftest\n");
     return 2;
   }
   size_t min_categories = 0;
