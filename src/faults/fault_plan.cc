@@ -147,6 +147,51 @@ bool ParseEvent(const std::string& tok, FaultEvent* ev, std::string* error) {
 
 }  // namespace
 
+namespace {
+
+// Renders `t` in the largest unit that divides it exactly, so ToString() output
+// re-parses to the identical TimeNs.
+std::string FormatTimeSpec(TimeNs t) {
+  struct Unit {
+    TimeNs scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {1'000'000'000, "s"}, {1'000'000, "ms"}, {1'000, "us"}, {1, "ns"}};
+  for (const Unit& u : kUnits) {
+    if (t % u.scale == 0) {
+      return std::to_string(t / u.scale) + u.suffix;
+    }
+  }
+  return std::to_string(t) + "ns";
+}
+
+}  // namespace
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += vscale::ToString(ev.kind);
+    out += '@';
+    out += FormatTimeSpec(ev.start);
+    out += '+';
+    out += FormatTimeSpec(ev.duration);
+    if (ev.magnitude > 0) {
+      out += '*';
+      out += std::to_string(ev.magnitude);
+    }
+  }
+  return out;
+}
+
+bool FaultPlan::Parse(const std::string& spec, FaultPlan* out,
+                      std::string* error) {
+  return ParseFaultPlan(spec, out, error);
+}
+
 bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error) {
   FaultPlan plan;
   plan.seed = out->seed;

@@ -45,6 +45,14 @@ struct FaultEvent {
   int64_t magnitude = 0;
 
   TimeNs end() const { return start + duration; }
+
+  friend bool operator==(const FaultEvent& a, const FaultEvent& b) {
+    return a.kind == b.kind && a.start == b.start && a.duration == b.duration &&
+           a.magnitude == b.magnitude;
+  }
+  friend bool operator!=(const FaultEvent& a, const FaultEvent& b) {
+    return !(a == b);
+  }
 };
 
 // The per-kind meaning of a defaulted magnitude.
@@ -60,6 +68,25 @@ struct FaultPlan {
                  int64_t magnitude = 0) {
     events.push_back(FaultEvent{kind, start, duration, magnitude});
     return *this;
+  }
+
+  // Canonical spec-string form of the event schedule, parseable by Parse():
+  // each time renders in the largest unit (s/ms/us/ns) that divides it exactly,
+  // magnitudes render only when explicitly set (> 0). The seed is carried
+  // separately (scenario files serialize it as their own field), so
+  //   Parse(p.ToString(), &q) && q.events == p.events
+  // holds for every plan — the round-trip the fuzz shrinker rests on.
+  std::string ToString() const;
+
+  // Member-form of ParseFaultPlan below: replaces `out`'s events (preserving
+  // its seed) on success, leaves it untouched and fills *error on failure.
+  static bool Parse(const std::string& spec, FaultPlan* out, std::string* error);
+
+  friend bool operator==(const FaultPlan& a, const FaultPlan& b) {
+    return a.seed == b.seed && a.events == b.events;
+  }
+  friend bool operator!=(const FaultPlan& a, const FaultPlan& b) {
+    return !(a == b);
   }
 };
 

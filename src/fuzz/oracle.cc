@@ -1,0 +1,249 @@
+#include "src/fuzz/oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/metrics_registry.h"
+#include "src/metrics/state_digest.h"
+#include "src/obs/stall_accounting.h"
+#include "src/workloads/omp_app.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/web_server.h"
+
+namespace vscale {
+
+namespace {
+
+bool g_fuzz_canary = false;
+
+// Everything one run of a scenario yields; RunOracle combines two of these.
+struct RunOutcome {
+  bool terminated = false;
+  uint64_t digest = 0;
+  uint64_t violations = 0;
+  std::string first_violation;
+  int64_t stall_samples = 0;
+  int64_t stall_failures = 0;
+  int64_t watchdog_trips = 0;
+  int64_t watchdog_recoveries = 0;
+  TimeNs end_time = 0;
+};
+
+// Captures invariant reports instead of aborting, so a failing scenario is a
+// verdict for the fuzz loop rather than the end of the process.
+class CaptureViolations {
+ public:
+  CaptureViolations() : start_count_(InvariantViolationCount()) {
+    prev_ = SetInvariantHandler([this](const InvariantViolation& v) {
+      if (first_.empty()) {
+        first_ = std::string(v.expr) + " (" + v.file + ":" +
+                 std::to_string(v.line) + "): " + v.message;
+      }
+    });
+  }
+  ~CaptureViolations() { SetInvariantHandler(std::move(prev_)); }
+
+  uint64_t count() const { return InvariantViolationCount() - start_count_; }
+  const std::string& first() const { return first_; }
+
+ private:
+  uint64_t start_count_;
+  std::string first_;
+  InvariantHandler prev_;
+};
+
+RunOutcome RunScenarioOnce(const Scenario& s, uint64_t testbed_seed) {
+  RunOutcome out;
+  MetricsRegistry::Global().Clear();
+  StallAccountant::Global().Reset();
+  CaptureViolations captured;
+
+  {
+    TestbedConfig cfg = s.config;
+    cfg.seed = testbed_seed;
+    cfg.stall_accounting = true;  // arms the exhaustiveness oracle
+    Testbed bed(cfg);
+
+    // All workloads are created before the clock moves: OMP teams start at
+    // t=0, web client windows are absolute virtual times from the scenario.
+    std::vector<std::unique_ptr<OmpApp>> apps;
+    std::vector<std::unique_ptr<WebServer>> servers;
+    std::vector<std::unique_ptr<HttperfClient>> clients;
+    TimeNs min_end = 0;
+    uint64_t salt = 0;
+    for (const WorkloadSpec& w : s.workloads) {
+      ++salt;
+      if (w.kind == WorkloadSpec::Kind::kOmp) {
+        OmpAppConfig ac = NpbProfile(w.app, cfg.primary_vcpus, w.spin_count);
+        ac.intervals = w.intervals;
+        apps.push_back(std::make_unique<OmpApp>(
+            bed.primary(), ac, testbed_seed ^ (0x9e3779b97f4a7c15ull + salt)));
+        apps.back()->Start();
+      } else {
+        WebServerConfig wc;
+        wc.workers = w.workers;
+        servers.push_back(std::make_unique<WebServer>(
+            bed.primary(), bed.sim(), wc,
+            testbed_seed ^ (0xbf58476d1ce4e5b9ull + salt)));
+        servers.back()->Start();
+        clients.push_back(std::make_unique<HttperfClient>(
+            *servers.back(), bed.sim(), static_cast<double>(w.rps),
+            testbed_seed ^ (0x94d049bb133111ebull + salt)));
+        clients.back()->Run(w.start, w.duration);
+        // Let queued requests drain before the run may stop.
+        min_end = std::max(min_end, w.start + w.duration + Milliseconds(500));
+      }
+    }
+    // The liveness oracle needs post-fault recovery room: never stop while a
+    // fault window is open or the watchdog/daemon might still be mid-recovery.
+    for (const FaultEvent& ev : cfg.faults.events) {
+      min_end = std::max(min_end, ev.end() + Seconds(2));
+    }
+
+    out.terminated = bed.RunUntil(
+        [&] {
+          if (bed.sim().Now() < min_end) return false;
+          for (const auto& app : apps) {
+            if (!app->done()) return false;
+          }
+          return true;
+        },
+        s.horizon);
+    out.end_time = bed.sim().Now();
+
+    if (bed.watchdog() != nullptr) {
+      out.watchdog_trips = bed.watchdog()->trips();
+      out.watchdog_recoveries = bed.watchdog()->recoveries();
+    }
+
+    StateDigest digest;
+    for (const auto& app : apps) {
+      digest.Absorb(static_cast<uint64_t>(app->done() ? 1 : 0));
+      digest.Absorb(app->duration());
+    }
+    for (const auto& server : servers) {
+      digest.Absorb(server->stats().arrivals);
+      digest.Absorb(server->stats().replies);
+      digest.Absorb(server->stats().drops);
+    }
+    digest.AbsorbMachine(bed.machine());
+    digest.AbsorbGuest(bed.primary());
+    if (bed.daemon() != nullptr) {
+      const VscaleDaemon& d = *bed.daemon();
+      digest.Absorb(d.cycles());
+      digest.Absorb(d.degradations());
+      digest.Absorb(d.resumes());
+      digest.Absorb(d.crashes());
+      digest.Absorb(d.restarts());
+    }
+    if (bed.faults() != nullptr) {
+      digest.Absorb(bed.faults()->events_started());
+      digest.Absorb(bed.faults()->events_ended());
+    }
+    digest.Absorb(out.watchdog_trips);
+    digest.Absorb(out.watchdog_recoveries);
+    out.digest = digest.value();
+  }  // Testbed dtor: stall FinishRun + gauge freeze
+
+  out.stall_samples = StallAccountant::Global().samples();
+  out.stall_failures = StallAccountant::Global().exhaustive_failures();
+  out.violations = captured.count();
+  out.first_violation = captured.first();
+
+  StallAccountant::Global().Reset();
+  MetricsRegistry::Global().Clear();
+  return out;
+}
+
+std::string Hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+const char* ToString(OracleVerdict v) {
+  switch (v) {
+    case OracleVerdict::kPass:
+      return "pass";
+    case OracleVerdict::kInvariantViolation:
+      return "invariant-violation";
+    case OracleVerdict::kStallNonExhaustive:
+      return "stall-non-exhaustive";
+    case OracleVerdict::kNonTermination:
+      return "non-termination";
+    case OracleVerdict::kWatchdogNoRecovery:
+      return "watchdog-no-recovery";
+    case OracleVerdict::kDigestDivergence:
+      return "digest-divergence";
+  }
+  return "?";
+}
+
+void SetFuzzCanary(bool enabled) { g_fuzz_canary = enabled; }
+bool FuzzCanaryEnabled() { return g_fuzz_canary; }
+
+OracleReport RunOracle(const Scenario& s) {
+  OracleReport report;
+
+  const RunOutcome run1 = RunScenarioOnce(s, s.seed);
+  report.digest1 = run1.digest;
+  report.end_time = run1.end_time;
+
+  if (run1.violations > 0) {
+    report.verdict = OracleVerdict::kInvariantViolation;
+    report.detail = std::to_string(run1.violations) +
+                    " violation(s); first: " + run1.first_violation;
+    return report;
+  }
+  if (run1.stall_failures > 0) {
+    report.verdict = OracleVerdict::kStallNonExhaustive;
+    report.detail = std::to_string(run1.stall_failures) +
+                    " exhaustiveness failure(s) in " +
+                    std::to_string(run1.stall_samples) + " samples";
+    return report;
+  }
+  if (!run1.terminated) {
+    report.verdict = OracleVerdict::kNonTermination;
+    report.detail = "workloads incomplete at horizon " +
+                    std::to_string(s.horizon) + " ns";
+    return report;
+  }
+  if (run1.watchdog_trips > run1.watchdog_recoveries) {
+    report.verdict = OracleVerdict::kWatchdogNoRecovery;
+    report.detail = "watchdog trips=" + std::to_string(run1.watchdog_trips) +
+                    " recoveries=" +
+                    std::to_string(run1.watchdog_recoveries) + " at end of run";
+    return report;
+  }
+
+  // Determinism gate: the identical scenario must replay bit-identically. The
+  // canary fault models a seed leak on the daemon-crash path (test-only).
+  uint64_t seed2 = s.seed;
+  if (g_fuzz_canary) {
+    for (const FaultEvent& ev : s.config.faults.events) {
+      if (ev.kind == FaultKind::kDaemonCrash) {
+        seed2 = s.seed ^ 1;
+        break;
+      }
+    }
+  }
+  const RunOutcome run2 = RunScenarioOnce(s, seed2);
+  report.digest2 = run2.digest;
+  if (run1.digest != run2.digest) {
+    report.verdict = OracleVerdict::kDigestDivergence;
+    report.detail =
+        "run1=" + Hex16(run1.digest) + " run2=" + Hex16(run2.digest);
+    return report;
+  }
+  return report;
+}
+
+}  // namespace vscale

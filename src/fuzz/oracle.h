@@ -1,0 +1,77 @@
+// The fuzzer's oracle battery: runs a Scenario under full checking and decides
+// whether the stack behaved. A scenario fails on any of:
+//
+//   kInvariantViolation   a VS_REQUIRE / VS_INVARIANT tripped anywhere in the
+//                         run (captured, not aborted, so the fuzz loop and the
+//                         shrinker can keep going)
+//   kStallNonExhaustive   the StallAccountant's per-tick exhaustiveness check
+//                         found simulated time outside the bucket partition
+//   kNonTermination       the workload mix did not complete by the scenario
+//                         horizon (hang, livelock, or a collapsed scheduler)
+//   kWatchdogNoRecovery   the daemon-liveness watchdog tripped and the stack
+//                         never recovered by end of run
+//   kDigestDivergence     two runs of the identical scenario produced
+//                         different StateDigests — the determinism contract
+//                         itself broke
+//
+// Verdicts are ordered by diagnosis precedence: an invariant trip explains a
+// hang better than the hang explains itself, so RunOracle reports the first
+// one in the list above. docs/FUZZING.md catalogues what each verdict means
+// and how to triage it.
+
+#ifndef VSCALE_SRC_FUZZ_ORACLE_H_
+#define VSCALE_SRC_FUZZ_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/fuzz/scenario.h"
+
+namespace vscale {
+
+enum class OracleVerdict {
+  kPass = 0,
+  kInvariantViolation,
+  kStallNonExhaustive,
+  kNonTermination,
+  kWatchdogNoRecovery,
+  kDigestDivergence,
+};
+
+// Stable lowercase tokens ("pass", "invariant-violation", ...): printed by
+// fuzz_run and matched by the shrinker's same-verdict acceptance test.
+const char* ToString(OracleVerdict v);
+
+struct OracleReport {
+  OracleVerdict verdict = OracleVerdict::kPass;
+  // Human-readable diagnosis: the first invariant message, the digest pair,
+  // the watchdog counters — whatever the verdict needs to be actionable.
+  std::string detail;
+  uint64_t digest1 = 0;
+  uint64_t digest2 = 0;
+  // Virtual completion time of the first run (== horizon when it hung).
+  TimeNs end_time = 0;
+
+  bool failed() const { return verdict != OracleVerdict::kPass; }
+};
+
+// Runs `s` twice (the digest double-run) with all oracles armed and returns
+// the first failing verdict, or kPass. The scenario must be Validate()-legal.
+// Global state contract: the metrics registry and the stall accountant are
+// cleared before and after; the installed invariant handler is saved and
+// restored. Callers can interleave oracle runs with anything.
+OracleReport RunOracle(const Scenario& s);
+
+// Test-only planted bug ("canary"): when enabled, the oracle deliberately
+// perturbs the second run's seed whenever the scenario's fault plan contains a
+// daemon-crash window, manufacturing a digest divergence. The fuzz_canary
+// ctest entry uses it to prove end-to-end that the fuzzer finds a real failure
+// and the shrinker minimizes it to a replayable repro — exercising the find/
+// shrink/serialize pipeline itself, not the simulator. Never enabled outside
+// tests (fuzz_run --canary).
+void SetFuzzCanary(bool enabled);
+bool FuzzCanaryEnabled();
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_FUZZ_ORACLE_H_

@@ -1,0 +1,344 @@
+#include "src/fuzz/scenario.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace vscale {
+
+namespace {
+
+constexpr char kHeader[] = "vscale-scenario v1";
+
+std::string I64(int64_t v) { return std::to_string(v); }
+
+// One workload serialized as "workload omp app=lu intervals=12 spin=300000" /
+// "workload web rps=250 start_ns=... dur_ns=... workers=8".
+std::string WorkloadLine(const WorkloadSpec& w) {
+  std::string out = "workload ";
+  if (w.kind == WorkloadSpec::Kind::kOmp) {
+    out += "omp app=" + w.app + " intervals=" + I64(w.intervals) +
+           " spin=" + I64(w.spin_count);
+  } else {
+    out += "web rps=" + I64(w.rps) + " start_ns=" + I64(w.start) +
+           " dur_ns=" + I64(w.duration) + " workers=" + I64(w.workers);
+  }
+  return out;
+}
+
+bool ParseI64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    i = 1;
+    if (s.size() == 1) return false;
+  }
+  int64_t v = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  *out = neg ? -v : v;
+  return true;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+// Splits "key=value" tokens of a workload line.
+bool SplitKv(const std::string& tok, std::string* key, std::string* value) {
+  const size_t eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 > tok.size()) return false;
+  *key = tok.substr(0, eq);
+  *value = tok.substr(eq + 1);
+  return true;
+}
+
+bool ParseWorkloadLine(const std::string& rest, WorkloadSpec* out,
+                       std::string* why) {
+  std::stringstream ss(rest);
+  std::string kind_tok;
+  if (!(ss >> kind_tok)) {
+    *why = "workload line needs a kind (omp | web)";
+    return false;
+  }
+  WorkloadSpec w;
+  if (kind_tok == "omp") {
+    w.kind = WorkloadSpec::Kind::kOmp;
+  } else if (kind_tok == "web") {
+    w.kind = WorkloadSpec::Kind::kWeb;
+  } else {
+    *why = "unknown workload kind \"" + kind_tok + "\"";
+    return false;
+  }
+  std::string tok;
+  while (ss >> tok) {
+    std::string key, value;
+    if (!SplitKv(tok, &key, &value)) {
+      *why = "bad workload token \"" + tok + "\" (want key=value)";
+      return false;
+    }
+    int64_t num = 0;
+    const bool numeric = ParseI64(value, &num);
+    if (w.kind == WorkloadSpec::Kind::kOmp && key == "app") {
+      w.app = value;
+    } else if (w.kind == WorkloadSpec::Kind::kOmp && key == "intervals" &&
+               numeric) {
+      w.intervals = num;
+    } else if (w.kind == WorkloadSpec::Kind::kOmp && key == "spin" && numeric) {
+      w.spin_count = num;
+    } else if (w.kind == WorkloadSpec::Kind::kWeb && key == "rps" && numeric) {
+      w.rps = num;
+    } else if (w.kind == WorkloadSpec::Kind::kWeb && key == "start_ns" &&
+               numeric) {
+      w.start = num;
+    } else if (w.kind == WorkloadSpec::Kind::kWeb && key == "dur_ns" &&
+               numeric) {
+      w.duration = num;
+    } else if (w.kind == WorkloadSpec::Kind::kWeb && key == "workers" &&
+               numeric) {
+      w.workers = static_cast<int>(num);
+    } else {
+      *why = "unknown or malformed workload token \"" + tok + "\"";
+      return false;
+    }
+  }
+  *out = w;
+  return true;
+}
+
+}  // namespace
+
+const char* PolicyToken(Policy p) {
+  switch (p) {
+    case Policy::kBaseline:
+      return "baseline";
+    case Policy::kBaselinePvlock:
+      return "baseline-pvlock";
+    case Policy::kVscale:
+      return "vscale";
+    case Policy::kVscalePvlock:
+      return "vscale-pvlock";
+  }
+  return "?";
+}
+
+bool ParsePolicyToken(const std::string& token, Policy* out) {
+  static constexpr Policy kAll[] = {Policy::kBaseline, Policy::kBaselinePvlock,
+                                    Policy::kVscale, Policy::kVscalePvlock};
+  for (Policy p : kAll) {
+    if (token == PolicyToken(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scenario::Validate() const {
+  config.Validate();
+  VS_REQUIRE(config.pool_pcpus >= 1,
+             "Scenario pool_pcpus must be explicit and >= 1 (got %d); the "
+             "fuzzer never relies on testbed auto-sizing",
+             config.pool_pcpus);
+  VS_REQUIRE(!workloads.empty(), "Scenario workload mix must not be empty");
+  VS_REQUIRE(horizon > 0, "Scenario horizon must be positive (got %lld ns)",
+             static_cast<long long>(horizon));
+  for (const WorkloadSpec& w : workloads) {
+    if (w.kind == WorkloadSpec::Kind::kOmp) {
+      VS_REQUIRE(IsNpbProfileName(w.app),
+                 "Scenario omp workload names unknown NPB app \"%s\"",
+                 w.app.c_str());
+      VS_REQUIRE(w.intervals >= 1,
+                 "Scenario omp workload %s needs intervals >= 1 (got %lld)",
+                 w.app.c_str(), static_cast<long long>(w.intervals));
+      VS_REQUIRE(w.spin_count >= 0,
+                 "Scenario omp workload %s needs spin >= 0 (got %lld)",
+                 w.app.c_str(), static_cast<long long>(w.spin_count));
+    } else {
+      VS_REQUIRE(w.rps >= 1 && w.duration > 0 && w.start >= 0 && w.workers >= 1,
+                 "Scenario web workload needs rps/duration/workers positive "
+                 "and start >= 0 (got rps=%lld start=%lld dur=%lld workers=%d)",
+                 static_cast<long long>(w.rps),
+                 static_cast<long long>(w.start),
+                 static_cast<long long>(w.duration), w.workers);
+      VS_REQUIRE(w.start + w.duration < horizon,
+                 "Scenario web window ends at %lld ns, past the %lld ns horizon",
+                 static_cast<long long>(w.start + w.duration),
+                 static_cast<long long>(horizon));
+    }
+  }
+  for (const FaultEvent& ev : config.faults.events) {
+    VS_REQUIRE(ev.end() < horizon,
+               "Scenario fault %s ends at %lld ns, past the %lld ns horizon — "
+               "the liveness oracle needs post-fault recovery room",
+               vscale::ToString(ev.kind), static_cast<long long>(ev.end()),
+               static_cast<long long>(horizon));
+  }
+}
+
+std::string Scenario::ToString() const {
+  std::string out;
+  out += kHeader;
+  out += '\n';
+  out += "seed " + std::to_string(seed) + '\n';
+  out += "policy " + std::string(PolicyToken(config.policy)) + '\n';
+  out += "pcpus " + I64(config.pool_pcpus) + '\n';
+  out += "vcpus " + I64(config.primary_vcpus) + '\n';
+  out += "background_vms " + I64(config.background_vms) + '\n';
+  out += "crunch_ns " + I64(config.crunch_mean) + '\n';
+  out += "quiet_ns " + I64(config.quiet_mean) + '\n';
+  out += "horizon_ns " + I64(horizon) + '\n';
+  out += "daemon.poll_ns " + I64(config.daemon.poll_period) + '\n';
+  out += "daemon.shrink_confirmations " + I64(config.daemon.shrink_confirmations) + '\n';
+  out += "daemon.grow_confirmations " + I64(config.daemon.grow_confirmations) + '\n';
+  out += "daemon.stale_reads_threshold " + I64(config.daemon.stale_reads_threshold) + '\n';
+  out += "daemon.unhealthy_cycles " + I64(config.daemon.unhealthy_cycles) + '\n';
+  out += "daemon.resume_confirmations " + I64(config.daemon.resume_confirmations) + '\n';
+  out += "daemon.safe_vcpu_floor " + I64(config.daemon.safe_vcpu_floor) + '\n';
+  out += "watchdog.check_ns " + I64(config.watchdog.check_period) + '\n';
+  out += "watchdog.missed_cycles " + I64(config.watchdog.missed_cycles) + '\n';
+  out += "watchdog.safe_vcpu_floor " + I64(config.watchdog.safe_vcpu_floor) + '\n';
+  for (const WorkloadSpec& w : workloads) {
+    out += WorkloadLine(w) + '\n';
+  }
+  out += "fault_seed " + std::to_string(config.faults.seed) + '\n';
+  if (!config.faults.empty()) {
+    out += "faults " + config.faults.ToString() + '\n';
+  }
+  return out;
+}
+
+bool ParseScenario(const std::string& text, Scenario* out, std::string* error) {
+  Scenario s;
+  s.workloads.clear();
+  std::stringstream ss(text);
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + why;
+    }
+    return false;
+  };
+  while (std::getline(ss, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    if (!saw_header) {
+      if (line != kHeader) {
+        return fail("expected header \"" + std::string(kHeader) + "\", got \"" +
+                    line + "\"");
+      }
+      saw_header = true;
+      continue;
+    }
+    const size_t sp = line.find(' ', first);
+    if (sp == std::string::npos || sp + 1 >= line.size()) {
+      return fail("expected \"<key> <value>\", got \"" + line + "\"");
+    }
+    const std::string key = line.substr(first, sp - first);
+    const std::string value = line.substr(sp + 1);
+    int64_t num = 0;
+    const bool numeric = ParseI64(value, &num);
+    if (key == "seed" || key == "fault_seed") {
+      uint64_t u = 0;
+      if (!ParseU64(value, &u)) return fail("bad uint64 for " + key);
+      if (key == "seed") {
+        s.seed = u;
+      } else {
+        s.config.faults.seed = u;
+      }
+    } else if (key == "policy") {
+      if (!ParsePolicyToken(value, &s.config.policy)) {
+        return fail("unknown policy \"" + value + "\"");
+      }
+    } else if (key == "workload") {
+      WorkloadSpec w;
+      std::string why;
+      if (!ParseWorkloadLine(value, &w, &why)) return fail(why);
+      s.workloads.push_back(std::move(w));
+    } else if (key == "faults") {
+      std::string why;
+      if (!FaultPlan::Parse(value, &s.config.faults, &why)) {
+        return fail("bad fault plan: " + why);
+      }
+    } else if (!numeric) {
+      return fail("bad integer value for " + key + ": \"" + value + "\"");
+    } else if (key == "pcpus") {
+      s.config.pool_pcpus = static_cast<int>(num);
+    } else if (key == "vcpus") {
+      s.config.primary_vcpus = static_cast<int>(num);
+    } else if (key == "background_vms") {
+      s.config.background_vms = static_cast<int>(num);
+    } else if (key == "crunch_ns") {
+      s.config.crunch_mean = num;
+    } else if (key == "quiet_ns") {
+      s.config.quiet_mean = num;
+    } else if (key == "horizon_ns") {
+      s.horizon = num;
+    } else if (key == "daemon.poll_ns") {
+      s.config.daemon.poll_period = num;
+    } else if (key == "daemon.shrink_confirmations") {
+      s.config.daemon.shrink_confirmations = static_cast<int>(num);
+    } else if (key == "daemon.grow_confirmations") {
+      s.config.daemon.grow_confirmations = static_cast<int>(num);
+    } else if (key == "daemon.stale_reads_threshold") {
+      s.config.daemon.stale_reads_threshold = static_cast<int>(num);
+    } else if (key == "daemon.unhealthy_cycles") {
+      s.config.daemon.unhealthy_cycles = static_cast<int>(num);
+    } else if (key == "daemon.resume_confirmations") {
+      s.config.daemon.resume_confirmations = static_cast<int>(num);
+    } else if (key == "daemon.safe_vcpu_floor") {
+      s.config.daemon.safe_vcpu_floor = static_cast<int>(num);
+    } else if (key == "watchdog.check_ns") {
+      s.config.watchdog.check_period = num;
+    } else if (key == "watchdog.missed_cycles") {
+      s.config.watchdog.missed_cycles = static_cast<int>(num);
+    } else if (key == "watchdog.safe_vcpu_floor") {
+      s.config.watchdog.safe_vcpu_floor = static_cast<int>(num);
+    } else {
+      return fail("unknown key \"" + key + "\"");
+    }
+  }
+  if (!saw_header) {
+    if (error != nullptr) *error = "empty input: missing scenario header";
+    return false;
+  }
+  // The testbed seed always mirrors the scenario seed.
+  s.config.seed = s.seed;
+  *out = std::move(s);
+  return true;
+}
+
+bool LoadScenarioFile(const std::string& path, Scenario* out,
+                      std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  if (!ParseScenario(buf.str(), out, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace vscale

@@ -1,0 +1,165 @@
+#include "src/fuzz/scenario_gen.h"
+
+#include <algorithm>
+
+#include "src/base/rng.h"
+#include "src/workloads/omp_app.h"
+
+namespace vscale {
+
+namespace {
+
+// NPB kernels the generator draws from: everything but `ep`, whose 1.2 s
+// grains make even a 2-interval run dominate a scenario's budget.
+const char* const kGenApps[] = {"bt", "cg", "dc", "ft", "is",
+                                "lu", "mg", "sp", "ua"};
+constexpr int kGenAppCount = 9;
+
+// Weighted policy draw, biased toward the vScale variants — they exercise the
+// daemon/watchdog/fault surface the oracle battery checks hardest.
+Policy DrawPolicy(Rng& rng) {
+  const uint64_t r = rng.NextBelow(100);
+  if (r < 15) return Policy::kBaseline;
+  if (r < 30) return Policy::kBaselinePvlock;
+  if (r < 70) return Policy::kVscale;
+  return Policy::kVscalePvlock;
+}
+
+int64_t DrawSpinCount(Rng& rng) {
+  const uint64_t r = rng.NextBelow(100);
+  if (r < 30) return kSpinCountPassive;
+  if (r < 90) return kSpinCountDefault;
+  return kSpinCountActive;  // OMP_WAIT_POLICY=ACTIVE: the paper's worst case
+}
+
+WorkloadSpec DrawWorkload(Rng& rng, int primary_vcpus) {
+  WorkloadSpec w;
+  if (rng.Chance(0.75)) {
+    w.kind = WorkloadSpec::Kind::kOmp;
+    w.app = kGenApps[rng.NextBelow(kGenAppCount)];
+    w.spin_count = DrawSpinCount(rng);
+    // Size the interval count from the profile's grain so every app draws a
+    // comparable dedicated-compute budget (60-250 ms) regardless of whether
+    // its grains are 0.8 ms (lu) or 12 ms (ft).
+    const TimeNs grain =
+        NpbProfile(w.app, primary_vcpus, w.spin_count).grain_mean;
+    const TimeNs budget = rng.UniformTime(Milliseconds(60), Milliseconds(250));
+    w.intervals = std::clamp<int64_t>(budget / std::max<TimeNs>(grain, 1),
+                                      2, 24);
+  } else {
+    w.kind = WorkloadSpec::Kind::kWeb;
+    w.rps = rng.UniformInt(100, 400);
+    w.start = Milliseconds(rng.UniformInt(200, 800));
+    w.duration = Milliseconds(rng.UniformInt(1000, 3000));
+    w.workers = static_cast<int>(rng.UniformInt(4, 8));
+  }
+  return w;
+}
+
+FaultEvent DrawFault(Rng& rng, int pool_pcpus) {
+  FaultEvent ev;
+  ev.kind = static_cast<FaultKind>(rng.NextBelow(kNumFaultKinds));
+  // ms-granular windows so minimized repro files stay human-readable.
+  ev.start = Milliseconds(rng.UniformInt(300, 4000));
+  ev.duration = Milliseconds(rng.UniformInt(50, 800));
+  switch (ev.kind) {
+    case FaultKind::kLatencySpike:
+    case FaultKind::kFreezeHang:
+      ev.magnitude = rng.UniformInt(2, 10);
+      break;
+    case FaultKind::kStealBurst:
+      // Never steal the whole pool: a zero-pCPU machine cannot run anything,
+      // and the liveness oracle would blame the victim scenario.
+      ev.magnitude = rng.UniformInt(1, std::max(1, pool_pcpus - 1));
+      break;
+    default:
+      ev.magnitude = 0;  // kind default
+  }
+  return ev;
+}
+
+}  // namespace
+
+Scenario GenerateScenario(uint64_t seed) {
+  Rng root(seed);
+  // Independent streams per dimension: adding a fault draw never shifts the
+  // workload mix a seed produces, which keeps corpus seeds meaningful across
+  // generator extensions that only append draws within one stream.
+  Rng topo = root.Fork(0x70);
+  Rng knobs = root.Fork(0x6b);
+  Rng work = root.Fork(0x3c);
+  Rng fault_rng = root.Fork(0xfa);
+
+  Scenario s;
+  s.seed = seed;
+  s.config.seed = seed;
+  s.config.policy = DrawPolicy(topo);
+  s.config.pool_pcpus = static_cast<int>(topo.UniformInt(2, 8));
+  s.config.primary_vcpus = static_cast<int>(topo.UniformInt(2, 8));
+  // Explicit consolidation level; -1 = dedicated machine. The auto-fill (0)
+  // is deliberately never drawn — scenarios state their topology outright.
+  s.config.background_vms =
+      topo.Chance(0.4) ? -1 : static_cast<int>(topo.UniformInt(1, 3));
+
+  s.config.crunch_mean = Milliseconds(knobs.UniformInt(2000, 6000));
+  s.config.quiet_mean = Milliseconds(knobs.UniformInt(500, 2000));
+  s.config.daemon.poll_period = Milliseconds(knobs.UniformInt(5, 20));
+  s.config.daemon.shrink_confirmations = static_cast<int>(knobs.UniformInt(2, 6));
+  s.config.daemon.grow_confirmations = static_cast<int>(knobs.UniformInt(1, 3));
+  s.config.daemon.stale_reads_threshold =
+      static_cast<int>(knobs.UniformInt(4, 12));
+  s.config.daemon.unhealthy_cycles = static_cast<int>(knobs.UniformInt(1, 3));
+  s.config.daemon.resume_confirmations =
+      static_cast<int>(knobs.UniformInt(1, 4));
+  s.config.daemon.safe_vcpu_floor = static_cast<int>(knobs.UniformInt(0, 2));
+  s.config.watchdog.check_period = Milliseconds(knobs.UniformInt(5, 20));
+  // The watchdog deadline must clear the daemon's worst healthy cycle; the
+  // lower bound here stays above (poll <= 20ms) * retries with margin.
+  s.config.watchdog.missed_cycles = static_cast<int>(knobs.UniformInt(6, 16));
+  s.config.watchdog.safe_vcpu_floor = 0;  // inherit the daemon floor
+
+  const int n_workloads = work.Chance(0.35) ? 2 : 1;
+  for (int i = 0; i < n_workloads; ++i) {
+    s.workloads.push_back(DrawWorkload(work, s.config.primary_vcpus));
+  }
+
+  const int n_faults = [&] {
+    const uint64_t r = fault_rng.NextBelow(100);
+    if (r < 25) return 0;
+    if (r < 55) return 1;
+    if (r < 75) return 2;
+    if (r < 90) return 3;
+    return 4;
+  }();
+  for (int i = 0; i < n_faults; ++i) {
+    s.config.faults.events.push_back(DrawFault(fault_rng, s.config.pool_pcpus));
+  }
+  s.config.faults.seed = fault_rng.NextU64();
+
+  // Horizon: generous by design. The oracle stops at workload completion, so a
+  // healthy run never consumes the slack; only a genuine hang pays it. The
+  // floor already dominates every fault window (start <= 4 s, duration
+  // <= 0.8 s, + 3 s recovery margin < 10 s) and web window (<= 3.8 s + drain).
+  TimeNs omp_work = 0;
+  TimeNs web_end = 0;
+  for (const WorkloadSpec& w : s.workloads) {
+    if (w.kind == WorkloadSpec::Kind::kOmp) {
+      omp_work += w.intervals *
+                  NpbProfile(w.app, s.config.primary_vcpus, w.spin_count)
+                      .grain_mean;
+    } else {
+      web_end = std::max(web_end, w.start + w.duration);
+    }
+  }
+  const int total_vcpus =
+      s.config.primary_vcpus + 2 * std::max(0, s.config.background_vms);
+  const int64_t contention =
+      (total_vcpus + s.config.pool_pcpus - 1) / s.config.pool_pcpus;
+  s.horizon = std::max<TimeNs>(
+      {Seconds(10), omp_work * contention * 12, web_end + Seconds(2)});
+
+  s.Validate();
+  return s;
+}
+
+}  // namespace vscale

@@ -1,0 +1,28 @@
+// ScenarioGen: derives a complete randomized Scenario from a single uint64
+// seed — the whole point of seed-driven fuzzing: a find is named by one number,
+// `fuzz_run --gen <seed>` regenerates it bit-identically forever, and the
+// nightly soak's frontier is just a seed range.
+//
+// Every generated scenario is legal by construction (GenerateScenario ends with
+// Scenario::Validate(), so a generator bug that emits garbage fails loudly in
+// the generator, not as a confusing oracle verdict) and bounded: workload sizes
+// are derived from each NPB profile's grain so the costliest draw still
+// completes well inside the generated horizon, and fault windows always end
+// early enough to leave the liveness oracle post-fault recovery room.
+
+#ifndef VSCALE_SRC_FUZZ_SCENARIO_GEN_H_
+#define VSCALE_SRC_FUZZ_SCENARIO_GEN_H_
+
+#include <cstdint>
+
+#include "src/fuzz/scenario.h"
+
+namespace vscale {
+
+// Deterministic in `seed`; uses only forked Rng streams so the draw order of
+// one dimension (topology, workloads, faults) never perturbs the others.
+Scenario GenerateScenario(uint64_t seed);
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_FUZZ_SCENARIO_GEN_H_

@@ -147,6 +147,16 @@ std::vector<VcpuBlame> BuildVcpuBlame(const StallSeries& series) {
   return out;
 }
 
+void WriteCollapsedStacks(const StallSeries& series, std::ostream& os) {
+  for (const VcpuBlame& v : BuildVcpuBlame(series)) {
+    for (int i = 0; i < kStallBucketCount; ++i) {
+      if (v.ns[i] == 0) continue;  // zero-width frames only clutter the graph
+      os << v.run << ";dom" << v.domain << ";vcpu" << v.vcpu << ";"
+         << ToString(static_cast<StallBucket>(i)) << ' ' << v.ns[i] << '\n';
+    }
+  }
+}
+
 std::vector<DomainBlame> BuildDomainBlame(const std::vector<VcpuBlame>& vcpus) {
   std::map<std::pair<std::string, int>, DomainBlame> acc;
   for (const VcpuBlame& v : vcpus) {

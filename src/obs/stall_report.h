@@ -74,6 +74,16 @@ double DomainBucketShare(const std::vector<DomainBlame>& domains,
 // least two runs) a per-domain share-shift comparison of the first two.
 void PrintBlameReport(const StallSeries& series, int top_n, std::ostream& os);
 
+// Collapsed-stack export (the `stackcollapse` format flamegraph.pl and
+// speedscope consume): one line per non-zero bucket of every vCPU's final
+// totals,
+//   <run>;dom<D>;vcpu<V>;<bucket> <cum_ns>
+// Frames nest run -> domain -> vCPU -> stall bucket, so a flamegraph's width
+// decomposition mirrors the blame tables exactly. Lines follow BuildVcpuBlame
+// order (run, domain, vcpu) with buckets in canonical column order — the
+// output is deterministic and golden-testable. tools/stall_report --collapsed.
+void WriteCollapsedStacks(const StallSeries& series, std::ostream& os);
+
 }  // namespace vscale
 
 #endif  // VSCALE_SRC_OBS_STALL_REPORT_H_

@@ -24,15 +24,25 @@ TimeNs SpinBudgetNs(int64_t spin_count) {
 
 }  // namespace
 
+namespace {
+const char* const kNpbNames[] = {"bt", "cg", "dc", "ep", "ft",
+                                 "is", "lu", "mg", "sp", "ua"};
+}  // namespace
+
 std::vector<OmpAppConfig> NpbSuite(int threads, int64_t spin_count) {
-  static const char* const kNames[] = {"bt", "cg", "dc", "ep", "ft",
-                                       "is", "lu", "mg", "sp", "ua"};
   std::vector<OmpAppConfig> suite;
   suite.reserve(10);
-  for (const char* name : kNames) {
+  for (const char* name : kNpbNames) {
     suite.push_back(NpbProfile(name, threads, spin_count));
   }
   return suite;
+}
+
+bool IsNpbProfileName(const std::string& name) {
+  for (const char* known : kNpbNames) {
+    if (name == known) return true;
+  }
+  return false;
 }
 
 OmpAppConfig NpbProfile(const std::string& name, int threads, int64_t spin_count) {

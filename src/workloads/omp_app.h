@@ -45,6 +45,10 @@ struct OmpAppConfig {
 std::vector<OmpAppConfig> NpbSuite(int threads, int64_t spin_count);
 // A single named NPB profile ("bt", "cg", ...). Aborts on unknown names.
 OmpAppConfig NpbProfile(const std::string& name, int threads, int64_t spin_count);
+// Whether `name` is one of the ten NPB profiles. Callers that accept app names
+// from untrusted text (scenario files) must gate on this: NpbProfile's unknown-
+// name assert vanishes in Release builds.
+bool IsNpbProfileName(const std::string& name);
 
 class OmpApp {
  public:

@@ -1,5 +1,6 @@
 #include "src/workloads/testbed.h"
 
+#include "src/base/check.h"
 #include "src/base/metrics_registry.h"
 #include "src/metrics/run_metrics.h"
 #include "src/obs/stall_accounting.h"
@@ -38,7 +39,41 @@ bool PolicyUsesPvlock(Policy p) {
   return p == Policy::kBaselinePvlock || p == Policy::kVscalePvlock;
 }
 
+void TestbedConfig::Validate() const {
+  VS_REQUIRE(primary_vcpus >= 1,
+             "TestbedConfig.primary_vcpus must be >= 1 (got %d)", primary_vcpus);
+  VS_REQUIRE(primary_vcpus <= kMaxVcpusPerDomain,
+             "TestbedConfig.primary_vcpus (%d) exceeds the configured max (%d)",
+             primary_vcpus, kMaxVcpusPerDomain);
+  VS_REQUIRE(pool_pcpus >= 0,
+             "TestbedConfig.pool_pcpus must be >= 0 (0 = auto; got %d)",
+             pool_pcpus);
+  VS_REQUIRE(weight_per_vcpu > 0,
+             "TestbedConfig.weight_per_vcpu must be positive (got %d)",
+             weight_per_vcpu);
+  VS_REQUIRE(crunch_mean >= 0 && quiet_mean >= 0,
+             "TestbedConfig crunch/quiet phase means must be >= 0 "
+             "(got %lld / %lld ns)",
+             static_cast<long long>(crunch_mean),
+             static_cast<long long>(quiet_mean));
+  for (const FaultEvent& ev : faults.events) {
+    VS_REQUIRE(ev.start >= 0 && ev.duration > 0,
+               "TestbedConfig fault event %s has start %lld / duration %lld; "
+               "start must be >= 0 and duration > 0",
+               ToString(ev.kind), static_cast<long long>(ev.start),
+               static_cast<long long>(ev.duration));
+    VS_REQUIRE(ev.magnitude >= 0,
+               "TestbedConfig fault event %s has negative magnitude %lld",
+               ToString(ev.kind), static_cast<long long>(ev.magnitude));
+  }
+  daemon.Validate();
+  if (enable_watchdog) {
+    watchdog.Validate();
+  }
+}
+
 Testbed::Testbed(TestbedConfig config) : config_(config) {
+  config_.Validate();
   if (config_.pool_pcpus <= 0) {
     config_.pool_pcpus = 12;
   }

@@ -33,6 +33,11 @@ const char* ToString(Policy p);
 bool PolicyUsesVscale(Policy p);
 bool PolicyUsesPvlock(Policy p);
 
+// Hard ceiling on a single VM's vCPU count; TestbedConfig::Validate() rejects
+// anything above it. Generous against the paper's 8-vCPU guests, tight enough
+// to catch a corrupted or fuzz-mutated config before it allocates the world.
+inline constexpr int kMaxVcpusPerDomain = 64;
+
 struct TestbedConfig {
   Policy policy = Policy::kBaseline;
   int primary_vcpus = 4;
@@ -64,6 +69,15 @@ struct TestbedConfig {
   // tracing it never mutates simulation state, so an enabled run digests
   // bit-identically to a disabled one (tools/digest_run --stall-check).
   bool stall_accounting = false;
+
+  // Rejects nonsensical values through VS_REQUIRE (always on, every build
+  // flavour — see src/base/check.h): non-positive or absurd vCPU counts,
+  // negative pCPU pools (0 still means auto), bad weights/phase means, and
+  // malformed programmatic fault events that never went through the parser.
+  // The Testbed constructor validates the *resolved* config (after auto-fill),
+  // so a zero-pCPU pool can no longer fail deep inside the run; callers that
+  // assemble configs by hand (the fuzzer, tests) may call it directly.
+  void Validate() const;
 };
 
 class Testbed {

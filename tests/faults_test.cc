@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/base/rng.h"
 #include "src/faults/fault_injector.h"
 #include "src/faults/fault_plan.h"
 #include "src/guest/kernel.h"
@@ -22,6 +23,7 @@
 #include "src/vscale/balancer.h"
 #include "src/vscale/daemon.h"
 #include "src/vscale/watchdog.h"
+#include "src/workloads/testbed.h"
 
 namespace vscale {
 namespace {
@@ -89,6 +91,75 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
     // A failed parse must leave the output plan untouched.
     ASSERT_EQ(plan.events.size(), 1u) << spec;
     EXPECT_EQ(plan.events[0].start, Seconds(9)) << spec;
+  }
+}
+
+TEST(FaultPlanTest, ToStringPicksLargestExactUnit) {
+  FaultPlan plan;
+  plan.Add(FaultKind::kDaemonStall, Seconds(2), Milliseconds(800));
+  plan.Add(FaultKind::kLatencySpike, Microseconds(1500), Nanoseconds(7), 12);
+  plan.Add(FaultKind::kStealBurst, 0, Milliseconds(1));
+  EXPECT_EQ(plan.ToString(),
+            "stall@2s+800ms;latency@1500us+7ns*12;steal@0s+1ms");
+  EXPECT_EQ(FaultPlan{}.ToString(), "");
+}
+
+// The round-trip the fuzz shrinker rests on: Parse(ToString(p)) reproduces the
+// event list exactly, for plans spanning every kind, unit and magnitude shape.
+TEST(FaultPlanTest, ToStringParseRoundTripsGeneratedPlans) {
+  Rng rng(0xF417);
+  static constexpr FaultKind kKinds[] = {
+      FaultKind::kChannelStale, FaultKind::kChannelGarbled,
+      FaultKind::kChannelFail,  FaultKind::kLatencySpike,
+      FaultKind::kDaemonStall,  FaultKind::kDaemonCrash,
+      FaultKind::kFreezeFail,   FaultKind::kFreezeHang,
+      FaultKind::kStealBurst,
+  };
+  static constexpr TimeNs kUnits[] = {1, 1'000, 1'000'000, 1'000'000'000};
+  for (int trial = 0; trial < 200; ++trial) {
+    FaultPlan plan;
+    plan.seed = rng.NextU64();
+    const int n = static_cast<int>(rng.NextBelow(6));
+    for (int i = 0; i < n; ++i) {
+      FaultEvent ev;
+      ev.kind = kKinds[rng.NextBelow(9)];
+      ev.start = static_cast<TimeNs>(rng.NextBelow(5000)) *
+                 kUnits[rng.NextBelow(4)];
+      ev.duration = static_cast<TimeNs>(1 + rng.NextBelow(5000)) *
+                    kUnits[rng.NextBelow(4)];
+      ev.magnitude = rng.Chance(0.5) ? 0 : 1 + static_cast<int64_t>(rng.NextBelow(64));
+      plan.events.push_back(ev);
+    }
+    FaultPlan parsed;
+    parsed.seed = plan.seed;  // the spec string never carries the seed
+    std::string error;
+    ASSERT_TRUE(FaultPlan::Parse(plan.ToString(), &parsed, &error))
+        << plan.ToString() << ": " << error;
+    EXPECT_EQ(parsed, plan) << plan.ToString();
+  }
+}
+
+TEST(FaultPlanTest, ParseErrorsNameTheOffendingToken) {
+  struct Case {
+    const char* spec;
+    const char* want_fragment;
+  };
+  const Case cases[] = {
+      {"stall", "missing '@'"},
+      {"frobnicate@1ms+2ms", "unknown fault kind \"frobnicate\""},
+      {"stall@x+2ms", "bad start time"},
+      {"stall@1ms", "missing '+<duration>'"},
+      {"stall@1ms+", "bad duration"},
+      {"stall@1ms+2ms*", "bad magnitude"},
+      {"stall@1ms+2msXYZ", "trailing junk"},
+      {"stall@1ms+0ms", "zero duration"},
+  };
+  for (const Case& c : cases) {
+    FaultPlan plan;
+    std::string error;
+    ASSERT_FALSE(FaultPlan::Parse(c.spec, &plan, &error)) << c.spec;
+    EXPECT_NE(error.find(c.want_fragment), std::string::npos)
+        << c.spec << " -> " << error;
   }
 }
 
@@ -564,6 +635,64 @@ TEST(ConfigValidationTest, WatchdogConfigRejectsNonsense) {
     wc.Validate();
     EXPECT_FALSE(cap.messages.empty());
   }
+}
+
+TEST(ConfigValidationTest, TestbedConfigRejectsNonsense) {
+  {
+    CapturedViolations cap;
+    TestbedConfig{}.Validate();  // defaults (pool 0 = auto) are legal
+    EXPECT_TRUE(cap.messages.empty());
+  }
+  struct Case {
+    const char* what;
+    void (*mutate)(TestbedConfig*);
+  };
+  const Case cases[] = {
+      {"primary_vcpus", [](TestbedConfig* c) { c->primary_vcpus = 0; }},
+      {"exceeds the configured max",
+       [](TestbedConfig* c) { c->primary_vcpus = kMaxVcpusPerDomain + 1; }},
+      {"pool_pcpus", [](TestbedConfig* c) { c->pool_pcpus = -3; }},
+      {"weight_per_vcpu", [](TestbedConfig* c) { c->weight_per_vcpu = 0; }},
+      {"crunch/quiet", [](TestbedConfig* c) { c->quiet_mean = -1; }},
+      {"duration", [](TestbedConfig* c) {
+         c->faults.Add(FaultKind::kDaemonStall, Milliseconds(5), 0);
+       }},
+      {"negative magnitude", [](TestbedConfig* c) {
+         c->faults.Add(FaultKind::kStealBurst, 0, Milliseconds(5), -2);
+       }},
+      {"poll_period", [](TestbedConfig* c) { c->daemon.poll_period = 0; }},
+      {"missed_cycles", [](TestbedConfig* c) { c->watchdog.missed_cycles = 0; }},
+  };
+  for (const Case& c : cases) {
+    CapturedViolations cap;
+    TestbedConfig cfg;
+    c.mutate(&cfg);
+    cfg.Validate();
+    ASSERT_FALSE(cap.messages.empty()) << c.what;
+    EXPECT_NE(cap.messages.front().find(c.what), std::string::npos)
+        << c.what << " -> " << cap.messages.front();
+  }
+  {
+    // A disabled watchdog exempts its config from validation.
+    CapturedViolations cap;
+    TestbedConfig cfg;
+    cfg.watchdog.missed_cycles = 0;
+    cfg.enable_watchdog = false;
+    cfg.Validate();
+    EXPECT_TRUE(cap.messages.empty());
+  }
+}
+
+TEST(ConfigValidationTest, TestbedConstructorValidates) {
+  CapturedViolations cap;
+  TestbedConfig cfg;
+  cfg.policy = Policy::kBaseline;
+  cfg.pool_pcpus = 2;
+  cfg.primary_vcpus = 2;
+  cfg.background_vms = -1;
+  cfg.quiet_mean = -1;  // invalid, but harmless to actually run with
+  Testbed bed(cfg);
+  EXPECT_FALSE(cap.messages.empty());
 }
 
 TEST(ConfigValidationTest, DaemonConstructorValidates) {

@@ -23,11 +23,11 @@
 //   float-accum          float/double declarations whose name involves credit
 //                        or *_ns — order-sensitive accumulation where the
 //                        scheduler needs exact TimeNs (int64) arithmetic.
-//   faults-allow-escape  `allow()` markers inside src/faults/ — the fault
-//                        plane is the one subsystem that must stay escape-free:
-//                        injected chaos must replay bit-identically, so its
-//                        randomness comes only from src/base/rng.h, with no
-//                        suppressions at all.
+//   faults-allow-escape  `allow()` markers inside src/faults/ or src/fuzz/ —
+//                        the fault plane and the fuzzer must stay escape-free:
+//                        injected chaos and generated scenarios must replay
+//                        bit-identically, so their randomness comes only from
+//                        src/base/rng.h, with no suppressions at all.
 //
 // Comments and string/char literals are stripped before matching (so this file
 // does not flag itself); allow-annotations are read from the raw line first.
@@ -243,10 +243,13 @@ void ScanSource(const std::string& label, const std::string& content,
   }
 
   bool in_block = false;
-  // The fault plane may not carry suppressions at all: every allow() marker in
-  // src/faults/ is itself a finding (the markers still suppress their rule, but
-  // the scan fails regardless, so there is no quiet way out).
-  const bool no_allows_here = label.find("src/faults") != std::string::npos;
+  // The fault plane and the fuzzer may not carry suppressions at all: every
+  // allow() marker in src/faults/ or src/fuzz/ is itself a finding (the markers
+  // still suppress their rule, but the scan fails regardless, so there is no
+  // quiet way out).
+  const bool no_allows_here =
+      label.find("src/faults") != std::string::npos ||
+      label.find("src/fuzz") != std::string::npos;
   // allowed[i] = rules suppressed on line i (0-based).
   std::vector<std::vector<std::string>> allowed(lines.size());
   std::vector<std::string> stripped(lines.size());
@@ -258,8 +261,9 @@ void ScanSource(const std::string& label, const std::string& content,
     if (no_allows_here) {
       findings->push_back(
           {label, static_cast<int>(i) + 1, "faults-allow-escape",
-           "allow() escapes are banned in src/faults: injected chaos must "
-           "replay bit-identically, randomness only via src/base/rng.h"});
+           "allow() escapes are banned in src/faults and src/fuzz: injected "
+           "chaos and generated scenarios must replay bit-identically, "
+           "randomness only via src/base/rng.h"});
     }
     for (const auto& a : allows) allowed[i].push_back(a);
     // A comment-only allow line covers the next line too.
@@ -391,6 +395,9 @@ int SelfTest() {
   // In src/faults/, the allow marker itself is a finding (and the scan fails
   // whether or not it also suppressed a rule).
   failures += Expect("src/faults/escape-banned.cc",
+                     "// det_lint: allow(raw-rand)\nint x = rand();\n",
+                     {"faults-allow-escape"});
+  failures += Expect("src/fuzz/escape-banned-too.cc",
                      "// det_lint: allow(raw-rand)\nint x = rand();\n",
                      {"faults-allow-escape"});
   failures += Expect("src/base/escape-fine-elsewhere.cc",

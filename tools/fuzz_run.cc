@@ -1,0 +1,265 @@
+// fuzz_run: driver for the deterministic scenario fuzzer (docs/FUZZING.md).
+//
+//   fuzz_run --smoke [--seed S] [--count N] [--out DIR]
+//       Sweep N seed-derived scenarios (S, S+1, ...) through the oracle
+//       battery. Any find is shrunk, serialized to DIR (default ".") and the
+//       run exits 1 — the PR-CI smoke gate and, with a large --count, the
+//       nightly soak.
+//   fuzz_run --canary [--seed S] [--count N] [--out DIR]
+//       Enable the planted test-only canary bug, sweep until the fuzzer finds
+//       it, shrink, and verify the minimized repro (a) still fails identically
+//       when replayed from its serialized .scenario file and (b) shrank to
+//       <= 2 domains and <= 3 fault-plan entries. Exits 0 only if the whole
+//       find -> shrink -> serialize -> replay pipeline worked; this is the
+//       fuzzer's own end-to-end test.
+//   fuzz_run --gen <seed>
+//       Print the scenario a seed generates (canonical .scenario text).
+//   fuzz_run --replay <file>...
+//       Parse, validate and run each .scenario file through the oracle; exits
+//       nonzero on the first failing verdict. Used both for triaging finds
+//       and as the ctest corpus regression gate (tests/corpus/).
+//
+// Everything is virtual-time and seed-driven: no wall clock anywhere, so a
+// soak budget is a scenario count, not minutes, and every line this tool
+// prints reproduces bit-identically from the command line that produced it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/fuzz/oracle.h"
+#include "src/fuzz/scenario.h"
+#include "src/fuzz/scenario_gen.h"
+#include "src/fuzz/shrinker.h"
+
+namespace {
+
+using namespace vscale;
+
+// Non-aborting validity probe for scenarios arriving from files: capture the
+// first violation message instead of dying, so the tool can report it.
+bool ProbeLegal(const Scenario& s, std::string* why) {
+  const uint64_t before = InvariantViolationCount();
+  std::string first;
+  InvariantHandler prev =
+      SetInvariantHandler([&first](const InvariantViolation& v) {
+        if (first.empty()) first = v.message;
+      });
+  s.Validate();
+  SetInvariantHandler(std::move(prev));
+  if (InvariantViolationCount() != before) {
+    *why = first;
+    return false;
+  }
+  return true;
+}
+
+bool WriteScenarioFile(const Scenario& s, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << s.ToString();
+  return f.good();
+}
+
+// Shrinks a find and writes the minimized repro next to the full one.
+// Returns the minimized scenario.
+Scenario ShrinkAndReport(const Scenario& found, const OracleReport& report,
+                         const std::string& out_dir) {
+  std::printf("fuzz_run: seed %llu FAILED: %s (%s)\n",
+              static_cast<unsigned long long>(found.seed),
+              ToString(report.verdict), report.detail.c_str());
+  ShrinkStats stats;
+  const Scenario minimal =
+      ShrinkScenario(found, report.verdict, /*max_oracle_runs=*/200, &stats);
+  std::printf(
+      "fuzz_run: shrunk to %d domain(s), %zu workload(s), %zu fault(s) "
+      "(%d oracle runs, %d moves accepted)\n",
+      minimal.Domains(), minimal.workloads.size(),
+      minimal.config.faults.events.size(), stats.oracle_runs, stats.accepted);
+  const std::string path = out_dir + "/repro_seed" +
+                           std::to_string(found.seed) + ".scenario";
+  if (WriteScenarioFile(minimal, path)) {
+    std::printf("fuzz_run: minimized repro written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "fuzz_run: cannot write %s\n", path.c_str());
+  }
+  std::fputs(minimal.ToString().c_str(), stdout);
+  return minimal;
+}
+
+int Sweep(uint64_t seed0, int count, const std::string& out_dir) {
+  int finds = 0;
+  for (int i = 0; i < count; ++i) {
+    const uint64_t seed = seed0 + static_cast<uint64_t>(i);
+    const Scenario s = GenerateScenario(seed);
+    const OracleReport report = RunOracle(s);
+    if (report.failed()) {
+      ShrinkAndReport(s, report, out_dir);
+      ++finds;
+    }
+    if ((i + 1) % 50 == 0) {
+      std::printf("fuzz_run: %d/%d scenarios clean so far\n", i + 1 - finds,
+                  i + 1);
+    }
+  }
+  if (finds != 0) {
+    std::fprintf(stderr, "fuzz_run: %d scenario(s) FAILED out of %d\n", finds,
+                 count);
+    return 1;
+  }
+  std::printf("fuzz_run: OK — %d scenarios, all oracles clean (seeds %llu..%llu, checked=%s)\n",
+              count, static_cast<unsigned long long>(seed0),
+              static_cast<unsigned long long>(seed0 + count - 1),
+#if VSCALE_CHECKED
+              "on"
+#else
+              "off"
+#endif
+  );
+  return 0;
+}
+
+// The fuzzer's own end-to-end test: plant the canary, find it, shrink it,
+// replay the serialized repro, and check the minimality contract.
+int CanaryHunt(uint64_t seed0, int count, const std::string& out_dir) {
+  SetFuzzCanary(true);
+  for (int i = 0; i < count; ++i) {
+    const uint64_t seed = seed0 + static_cast<uint64_t>(i);
+    const Scenario s = GenerateScenario(seed);
+    const OracleReport report = RunOracle(s);
+    if (!report.failed()) continue;
+
+    std::printf("fuzz_run: canary found at seed %llu after %d scenario(s)\n",
+                static_cast<unsigned long long>(seed), i + 1);
+    if (report.verdict != OracleVerdict::kDigestDivergence) {
+      std::fprintf(stderr,
+                   "fuzz_run: canary expected digest-divergence, got %s\n",
+                   ToString(report.verdict));
+      return 1;
+    }
+    const Scenario minimal = ShrinkAndReport(s, report, out_dir);
+    if (minimal.Domains() > 2 ||
+        minimal.config.faults.events.size() > 3) {
+      std::fprintf(stderr,
+                   "fuzz_run: minimized repro too large: %d domain(s), %zu "
+                   "fault(s) (want <= 2 and <= 3)\n",
+                   minimal.Domains(), minimal.config.faults.events.size());
+      return 1;
+    }
+    // The repro must survive its own serialization: reload the written file
+    // and fail identically.
+    const std::string path = out_dir + "/repro_seed" +
+                             std::to_string(seed) + ".scenario";
+    Scenario replayed;
+    std::string error;
+    if (!LoadScenarioFile(path, &replayed, &error)) {
+      std::fprintf(stderr, "fuzz_run: repro does not re-parse: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    if (replayed.ToString() != minimal.ToString() ||
+        RunOracle(replayed).verdict != OracleVerdict::kDigestDivergence) {
+      std::fprintf(stderr,
+                   "fuzz_run: replayed repro does not reproduce the find\n");
+      return 1;
+    }
+    std::printf("fuzz_run: canary OK — found, shrunk and replayed from %s\n",
+                path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "fuzz_run: canary NOT found in %d scenario(s) from seed %llu\n",
+               count, static_cast<unsigned long long>(seed0));
+  return 1;
+}
+
+int Replay(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    Scenario s;
+    std::string error;
+    if (!LoadScenarioFile(path, &s, &error)) {
+      std::fprintf(stderr, "fuzz_run: %s\n", error.c_str());
+      return 2;
+    }
+    if (!ProbeLegal(s, &error)) {
+      std::fprintf(stderr, "fuzz_run: %s: illegal scenario: %s\n", path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    const OracleReport report = RunOracle(s);
+    std::printf("fuzz_run: %s: %s%s%s (end %lld ns)\n", path.c_str(),
+                ToString(report.verdict), report.failed() ? " — " : "",
+                report.failed() ? report.detail.c_str() : "",
+                static_cast<long long>(report.end_time));
+    if (report.failed()) return 1;
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fuzz_run --smoke [--seed S] [--count N] [--out DIR]\n"
+               "       fuzz_run --canary [--seed S] [--count N] [--out DIR]\n"
+               "       fuzz_run --gen <seed>\n"
+               "       fuzz_run --replay <file>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  int count = 200;
+  std::string out_dir = ".";
+  enum class Mode { kNone, kSmoke, kCanary, kGen, kReplay } mode = Mode::kNone;
+  uint64_t gen_seed = 0;
+  std::vector<std::string> replay_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      mode = Mode::kSmoke;
+    } else if (std::strcmp(argv[i], "--canary") == 0) {
+      mode = Mode::kCanary;
+    } else if (std::strcmp(argv[i], "--gen") == 0 && i + 1 < argc) {
+      mode = Mode::kGen;
+      gen_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      mode = Mode::kReplay;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      count = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (mode == Mode::kReplay && argv[i][0] != '-') {
+      replay_paths.push_back(argv[i]);
+    } else {
+      return Usage();
+    }
+  }
+
+  switch (mode) {
+    case Mode::kSmoke:
+      if (count < 1) return Usage();
+      return Sweep(seed, count, out_dir);
+    case Mode::kCanary:
+      if (count < 1) return Usage();
+      return CanaryHunt(seed, count, out_dir);
+    case Mode::kGen: {
+      const Scenario s = GenerateScenario(gen_seed);
+      std::fputs(s.ToString().c_str(), stdout);
+      return 0;
+    }
+    case Mode::kReplay:
+      if (replay_paths.empty()) return Usage();
+      return Replay(replay_paths);
+    case Mode::kNone:
+      break;
+  }
+  return Usage();
+}

@@ -2,6 +2,9 @@
 // the `perf sched` + `lockstat` analogue for the DES (docs/OBSERVABILITY.md).
 //
 //   stall_report <stall.csv> [--top N]     blame tables + offender ranking
+//   stall_report <stall.csv> --collapsed   collapsed-stack lines
+//                                          (run;domN;vcpuN;bucket cum_ns) for
+//                                          flamegraph.pl / speedscope
 //   stall_report --selftest                parser/report checks on synthetic data
 //
 // Produce the input with any stall-enabled harness, e.g.:
@@ -96,6 +99,33 @@ int SelfTest() {
   ST_CHECK(text.find("top 3 offenders") != std::string::npos);
   ST_CHECK(text.find("share shift") != std::string::npos);
 
+  // Collapsed-stack export: golden output — frame order and values are part
+  // of the format contract (stackcollapse viewers diff poorly).
+  const char kGoldenCollapsed[] =
+      "base;dom0;vcpu0;running 500000\n"
+      "base;dom0;vcpu0;runnable_waiting_pcpu 300000\n"
+      "base;dom0;vcpu0;lhp_spinning 150000\n"
+      "base;dom0;vcpu0;futex_blocked 50000\n"
+      "base;dom0;vcpu1;running 400000\n"
+      "base;dom0;vcpu1;runnable_waiting_pcpu 400000\n"
+      "base;dom0;vcpu1;lhp_spinning 200000\n"
+      "vscale;dom0;vcpu0;running 800000\n"
+      "vscale;dom0;vcpu0;runnable_waiting_pcpu 100000\n"
+      "vscale;dom0;vcpu0;lhp_spinning 50000\n"
+      "vscale;dom0;vcpu0;futex_blocked 50000\n"
+      "vscale;dom0;vcpu1;running 100000\n"
+      "vscale;dom0;vcpu1;runnable_waiting_pcpu 50000\n"
+      "vscale;dom0;vcpu1;frozen 850000\n";
+  std::stringstream collapsed;
+  WriteCollapsedStacks(series, collapsed);
+  if (collapsed.str() != kGoldenCollapsed) {
+    std::fprintf(stderr,
+                 "stall_report selftest FAILED: collapsed-stack output "
+                 "diverged from golden:\n--- got ---\n%s--- want ---\n%s",
+                 collapsed.str().c_str(), kGoldenCollapsed);
+    return 1;
+  }
+
   // Malformed inputs must be rejected, not misread.
   std::stringstream bad_header("nope\n");
   ST_CHECK(!LoadStallCsv(bad_header, &series, &error));
@@ -113,6 +143,7 @@ int SelfTest() {
 int Run(int argc, char** argv) {
   std::string path;
   int top_n = 10;
+  bool collapsed = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--selftest") == 0) {
       return SelfTest();
@@ -120,15 +151,19 @@ int Run(int argc, char** argv) {
     if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top_n = std::atoi(argv[i + 1]);
       ++i;
+    } else if (std::strcmp(argv[i], "--collapsed") == 0) {
+      collapsed = true;
     } else if (path.empty()) {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: stall_report <stall.csv> [--top N]\n");
+      std::fprintf(stderr,
+                   "usage: stall_report <stall.csv> [--top N] [--collapsed]\n");
       return 2;
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: stall_report <stall.csv> [--top N]\n");
+    std::fprintf(stderr,
+                 "usage: stall_report <stall.csv> [--top N] [--collapsed]\n");
     return 2;
   }
   std::ifstream f(path);
@@ -142,7 +177,13 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "stall_report: %s: %s\n", path.c_str(), error.c_str());
     return 1;
   }
-  PrintBlameReport(series, top_n, std::cout);
+  if (collapsed) {
+    // Collapsed-stack lines for flamegraph.pl / speedscope; pipe to a file and
+    // feed the viewer directly.
+    WriteCollapsedStacks(series, std::cout);
+  } else {
+    PrintBlameReport(series, top_n, std::cout);
+  }
   return 0;
 }
 
