@@ -1,0 +1,175 @@
+// SmallVector: a vector with inline storage for the first N elements, for the
+// scheduler's hot containers (run queues, pending-event-port buckets) whose
+// populations are almost always tiny. Staying inline removes the heap
+// allocation *and* the pointer indirection: the elements live inside the
+// owning struct (Pcpu, the pending-port table), so touching the queue is the
+// same cache line(s) as touching its owner. Spills to the heap transparently
+// when the population exceeds N — semantics don't change, only locality.
+//
+// Restricted to trivially-copyable element types (enforced below): growth and
+// erase are memcpy/memmove, there is no per-element destruction, and the type
+// stays small enough to read in one sitting. That covers every intended user
+// (raw pointers, ints); it is not a general std::vector replacement.
+
+#ifndef VSCALE_SRC_BASE_SMALL_VECTOR_H_
+#define VSCALE_SRC_BASE_SMALL_VECTOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace vscale {
+
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is memcpy-based; use std::vector for non-trivial T");
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(const SmallVector& other) { CopyFrom(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { StealFrom(other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      StealFrom(other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { FreeHeap(); }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool is_inline() const { return data_ == InlineData(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t cap) {
+    if (cap > capacity_) {
+      Grow(cap);
+    }
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) {
+      Grow(capacity_ * 2);
+    }
+    data_[size_++] = v;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  iterator insert(const_iterator pos, const T& v) {
+    assert(pos >= begin() && pos <= end());
+    const size_t idx = static_cast<size_t>(pos - begin());
+    if (size_ == capacity_) {
+      Grow(capacity_ * 2);  // invalidates pos; idx survives
+    }
+    std::memmove(data_ + idx + 1, data_ + idx, (size_ - idx) * sizeof(T));
+    data_[idx] = v;
+    ++size_;
+    return data_ + idx;
+  }
+
+  iterator erase(const_iterator pos) {
+    assert(pos >= begin() && pos < end());
+    const size_t idx = static_cast<size_t>(pos - begin());
+    std::memmove(data_ + idx, data_ + idx + 1, (size_ - idx - 1) * sizeof(T));
+    --size_;
+    return data_ + idx;
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_); }
+  const T* InlineData() const { return reinterpret_cast<const T*>(inline_); }
+
+  void Grow(size_t cap) {
+    if (cap < capacity_ * 2) {
+      cap = capacity_ * 2;
+    }
+    T* heap = new T[cap];
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    FreeHeap();
+    data_ = heap;
+    capacity_ = static_cast<uint32_t>(cap);
+  }
+
+  void FreeHeap() {
+    if (data_ != InlineData()) {
+      delete[] data_;
+    }
+  }
+
+  void CopyFrom(const SmallVector& other) {
+    reserve(other.size_);
+    std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  // Leaves `other` empty and inline. Heap storage transfers by pointer; inline
+  // storage is memcpy'd (the elements are trivially copyable by contract).
+  void StealFrom(SmallVector& other) {
+    if (other.is_inline()) {
+      data_ = InlineData();
+      capacity_ = N;
+      std::memcpy(inline_, other.inline_, other.size_ * sizeof(T));
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+    }
+    size_ = other.size_;
+    other.data_ = other.InlineData();
+    other.capacity_ = N;
+    other.size_ = 0;
+  }
+
+  T* data_ = InlineData();
+  uint32_t size_ = 0;
+  uint32_t capacity_ = N;
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_BASE_SMALL_VECTOR_H_

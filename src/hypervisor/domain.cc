@@ -4,16 +4,18 @@ namespace vscale {
 
 Domain::Domain(DomainId id, std::string name, int weight, int n_vcpus)
     : id_(id), name_(std::move(name)), weight_(weight) {
+  // Reserve exactly: the vCPU array never grows afterwards, which is what makes
+  // the Vcpu* held by run queues and advance-event closures stable.
   vcpus_.reserve(static_cast<size_t>(n_vcpus));
   for (int i = 0; i < n_vcpus; ++i) {
-    vcpus_.push_back(std::make_unique<Vcpu>(this, i));
+    vcpus_.emplace_back(this, i);
   }
 }
 
 int Domain::n_active_vcpus() const {
   int n = 0;
   for (const auto& v : vcpus_) {
-    if (!v->frozen) {
+    if (!v.frozen) {
       ++n;
     }
   }
@@ -23,7 +25,7 @@ int Domain::n_active_vcpus() const {
 TimeNs Domain::TotalRuntime() const {
   TimeNs total = 0;
   for (const auto& v : vcpus_) {
-    total += v->total_runtime;
+    total += v.total_runtime;
   }
   return total;
 }
@@ -31,7 +33,7 @@ TimeNs Domain::TotalRuntime() const {
 TimeNs Domain::TotalWait() const {
   TimeNs total = 0;
   for (const auto& v : vcpus_) {
-    total += v->total_wait;
+    total += v.total_wait;
   }
   return total;
 }

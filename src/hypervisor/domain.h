@@ -17,7 +17,13 @@ namespace vscale {
 class Domain;
 class GuestOs;
 
-// Per-vCPU hypervisor state. Owned by its Domain.
+// Per-vCPU hypervisor state. Owned by its Domain, which stores vCPUs by value in
+// one contiguous array (fixed at domain creation, so Vcpu* stay stable).
+//
+// Field order is deliberate: the members every scheduling decision reads —
+// identity, state/priority flags, the settle/slice clocks and the advance event
+// — are packed into the leading cache line; lifetime statistics, which only
+// reports read, trail behind it.
 class Vcpu {
  public:
   Vcpu(Domain* domain, VcpuId id) : domain_(domain), id_(id) {}
@@ -25,16 +31,16 @@ class Vcpu {
   Domain* domain() const { return domain_; }
   VcpuId id() const { return id_; }
 
+  // --- hot: read/written by every dispatch, settle, wake and queue operation ---
   VcpuState state = VcpuState::kBlocked;
+  CreditPriority priority = CreditPriority::kUnder;
   bool frozen = false;           // guest marked it frozen (vScale) — stays blocked
   bool polling = false;          // blocked in SCHEDOP_poll on poll_port
+  PcpuId pcpu = -1;              // pCPU currently running on, or last ran on
   EvtchnPort poll_port = -1;
 
   // Credit accounting: entitled-but-unconsumed CPU time. Positive => UNDER.
   TimeNs credit_ns = 0;
-  CreditPriority priority = CreditPriority::kUnder;
-
-  PcpuId pcpu = -1;              // pCPU currently running on, or last ran on
   TimeNs slice_end = 0;          // end of the current scheduling slice
   TimeNs run_since = 0;          // when it was last placed on a pCPU
   TimeNs last_settle = 0;        // last time runtime was settled
@@ -42,7 +48,7 @@ class Vcpu {
 
   Simulator::EventId advance_event = Simulator::kInvalidEvent;
 
-  // Lifetime statistics.
+  // --- cold: lifetime statistics, read only when reporting ---
   TimeNs total_runtime = 0;
   TimeNs total_wait = 0;         // time spent runnable-but-not-running (paper Fig. 9)
   TimeNs total_blocked = 0;
@@ -75,8 +81,8 @@ class Domain {
   void set_reservation_pcpus(double r) { reservation_pcpus_ = r; }
 
   int n_vcpus() const { return static_cast<int>(vcpus_.size()); }
-  Vcpu& vcpu(VcpuId id) { return *vcpus_[static_cast<size_t>(id)]; }
-  const Vcpu& vcpu(VcpuId id) const { return *vcpus_[static_cast<size_t>(id)]; }
+  Vcpu& vcpu(VcpuId id) { return vcpus_[static_cast<size_t>(id)]; }
+  const Vcpu& vcpu(VcpuId id) const { return vcpus_[static_cast<size_t>(id)]; }
 
   // Active (credit-earning) vCPUs: not frozen.
   int n_active_vcpus() const;
@@ -116,7 +122,10 @@ class Domain {
   int weight_;
   double cap_pcpus_ = 0.0;
   double reservation_pcpus_ = 0.0;
-  std::vector<std::unique_ptr<Vcpu>> vcpus_;
+  // By value and contiguous: the scheduler's per-domain sweeps (accounting,
+  // freeze seeding, window demand) walk vCPUs in order, and the count is fixed
+  // at construction so addresses handed out as Vcpu* never move.
+  std::vector<Vcpu> vcpus_;
   GuestOs* guest_ = nullptr;
 };
 

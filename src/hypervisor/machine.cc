@@ -266,7 +266,6 @@ void Machine::SettleRunning(Vcpu& v) {
 
 void Machine::RearmAdvance(Vcpu& v) {
   assert(v.state == VcpuState::kRunning);
-  sim_.Cancel(v.advance_event);
   const TimeNs now = sim_.Now();
   const TimeNs dt = v.domain()->guest()->NextEventDelta(v.id());
   TimeNs deadline = v.slice_end;
@@ -276,7 +275,8 @@ void Machine::RearmAdvance(Vcpu& v) {
   if (deadline < now) {
     deadline = now;
   }
-  v.advance_event = sim_.ScheduleAt(deadline, [this, &v] { OnAdvance(v); });
+  v.advance_event =
+      sim_.Reschedule(v.advance_event, deadline, [this, &v] { OnAdvance(v); });
 }
 
 void Machine::OnAdvance(Vcpu& v) {

@@ -25,6 +25,7 @@
 
 #include "src/base/cost_model.h"
 #include "src/base/rng.h"
+#include "src/base/small_vector.h"
 #include "src/base/time.h"
 #include "src/hypervisor/domain.h"
 #include "src/hypervisor/guest_os.h"
@@ -116,14 +117,19 @@ class Machine : public HvServices {
   std::function<void(PcpuId, Vcpu*)> on_schedule_hook;
 
  private:
+  // The run queue lives inline in the Pcpu (SmallVector): scanning a queue is
+  // the same cache lines as the Pcpu that owns it, and queues only spill to the
+  // heap past 8 waiters — deeper than any steady state the testbed produces.
+  using RunQueue = SmallVector<Vcpu*, 8>;
+
   struct Pcpu {
-    PcpuId id = -1;
     Vcpu* current = nullptr;  // nullptr = idle
-    std::vector<Vcpu*> runq;  // priority buckets flattened: sorted stably by priority
+    PcpuId id = -1;
+    bool stolen = false;      // temporarily owned by another pool (fault plane)
+    RunQueue runq;            // priority buckets flattened: sorted stably by priority
     TimeNs idle_since = 0;
     TimeNs total_idle = 0;
     Simulator::EventId ratelimit_check = Simulator::kInvalidEvent;
-    bool stolen = false;       // temporarily owned by another pool (fault plane)
     TimeNs stolen_since = 0;
   };
 
@@ -185,7 +191,9 @@ class Machine : public HvServices {
   Rng rng_;
   std::vector<std::unique_ptr<Domain>> domains_;
   std::vector<Pcpu> pcpus_;
-  std::vector<std::vector<EvtchnPort>> pending_ports_;  // [global vcpu index]
+  // [global vcpu index] -> ports awaiting delivery. A bucket rarely holds more
+  // than one or two ports, so four inline slots keep delivery allocation-free.
+  std::vector<SmallVector<EvtchnPort, 4>> pending_ports_;
   std::unique_ptr<PeriodicTask> tick_task_;
   std::unique_ptr<PeriodicTask> acct_task_;
   int64_t context_switches_ = 0;

@@ -1,0 +1,109 @@
+// EventFn: the simulator's callback slot — a type-erased void() callable tuned
+// for the DES hot path, where std::function's generality is pure overhead.
+//
+// Almost every event callback in this tree is a tiny capture of one or two
+// pointers ([this], [this, &v]). For those, EventFn stores the closure inline in
+// a 24-byte buffer and remembers a single invoke pointer: construction is a
+// memcpy, a move is a memcpy, destruction is free, and firing is one indirect
+// call. std::function, by contrast, routes every move and destroy through its
+// manager function — three to five extra indirect calls per scheduled event,
+// which profiling showed dominating BM_EventScheduleFire (docs/PERFORMANCE.md).
+//
+// Callables that are too large, not trivially copyable, or not trivially
+// destructible (e.g. scheduling a std::function itself) are boxed on the heap —
+// same semantics, one allocation, still no manager dispatch. The inline path is
+// chosen at compile time per callable type, so this is invisible at call sites:
+// anything invocable as void() converts implicitly, exactly like before.
+
+#ifndef VSCALE_SRC_SIM_EVENT_FN_H_
+#define VSCALE_SRC_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vscale {
+
+class EventFn {
+ public:
+  static constexpr size_t kInlineSize = 24;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for lambdas
+    Emplace(std::forward<F>(f));
+  }
+
+  // Constructs the callable in place in an *empty* EventFn. This is the slab's
+  // scheduling fast path: the simulator emplaces straight into a recycled slot,
+  // so a schedule involves no EventFn temporaries and no buffer moves at all.
+  template <typename F>
+  void Emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  std::is_trivially_copyable_v<Fn> &&
+                  std::is_trivially_destructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); };
+    } else {
+      Fn* boxed = new Fn(std::forward<F>(f));
+      std::memcpy(buf_, &boxed, sizeof(boxed));
+      invoke_ = [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); };
+      destroy_ = [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); };
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept
+      : invoke_(other.invoke_), destroy_(other.destroy_) {
+    std::memcpy(buf_, other.buf_, kInlineSize);
+    other.invoke_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      invoke_ = other.invoke_;
+      destroy_ = other.destroy_;
+      std::memcpy(buf_, other.buf_, kInlineSize);
+      other.invoke_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(buf_); }
+
+  // Releases the held callable (boxed storage is freed); leaves *this empty.
+  void Reset() {
+    if (destroy_ != nullptr) {
+      destroy_(buf_);
+      destroy_ = nullptr;
+    }
+    invoke_ = nullptr;
+  }
+
+ private:
+  // Zero-initialized so whole-buffer relocation memcpys never read uninitialized
+  // bytes when the stored closure is smaller than the buffer.
+  alignas(alignof(std::max_align_t)) unsigned char buf_[kInlineSize] = {};
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;  // non-null only for boxed callables
+};
+
+}  // namespace vscale
+
+#endif  // VSCALE_SRC_SIM_EVENT_FN_H_

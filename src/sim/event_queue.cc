@@ -1,96 +1,51 @@
 #include "src/sim/event_queue.h"
 
 #include <cassert>
+#include <utility>
 
 #include "src/base/check.h"
 #include "src/base/trace.h"
 
 namespace vscale {
 
-Simulator::EventId Simulator::ScheduleAt(TimeNs when, std::function<void()> fn) {
-  assert(when >= now_ && "cannot schedule in the past");
-  if (when < now_) {
-    when = now_;
-  }
-  const EventId id = next_id_++;
-  queue_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+Simulator::Simulator() {
+  // Typical steady-state populations are tens of events; reserving avoids the
+  // first few growth reallocations without committing real memory.
+  heap_.reserve(64);
+  free_.reserve(64);
 }
 
-void Simulator::Cancel(EventId id) {
-  if (id == kInvalidEvent) {
-    return;
-  }
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
-    return;  // already fired or cancelled
-  }
-  callbacks_.erase(it);
-  cancelled_.insert(id);
-}
-
-bool Simulator::PopNext(Entry& out) {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    queue_.pop();
-    auto cancelled_it = cancelled_.find(top.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
+void Simulator::CompactHeap() {
+  size_t keep = 0;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (!Stale(heap_[i])) {
+      heap_[keep++] = heap_[i];
     }
-    out = top;
-    return true;
   }
-  return false;
-}
-
-bool Simulator::Step() {
-  Entry entry;
-  if (!PopNext(entry)) {
-    return false;
+  heap_.resize(keep);
+  // Floyd heapify: O(n), and the result is a valid (when, seq) min-heap no matter
+  // the input order, so firing order is untouched.
+  for (size_t i = keep / 2; i-- > 0;) {
+    SiftDown(i);
   }
-  // Virtual time is monotonic and the tie-break is stable: events at the same
-  // timestamp fire in schedule order. Every replay guarantee rests on these two.
-  VS_INVARIANT(entry.when >= now_,
-               "event %llu fires at %lld ns but Now() is already %lld ns",
-               static_cast<unsigned long long>(entry.id),
-               static_cast<long long>(entry.when), static_cast<long long>(now_));
-  VS_INVARIANT(entry.when > last_fired_when_ ||
-                   (entry.when == last_fired_when_ && entry.id > last_fired_id_),
-               "tie-break regression: event %llu at %lld ns fired after event %llu "
-               "at %lld ns",
-               static_cast<unsigned long long>(entry.id),
-               static_cast<long long>(entry.when),
-               static_cast<unsigned long long>(last_fired_id_),
-               static_cast<long long>(last_fired_when_));
-#if VSCALE_CHECKED
-  last_fired_when_ = entry.when;
-  last_fired_id_ = entry.id;
-#endif
-  now_ = entry.when;
-  auto it = callbacks_.find(entry.id);
-  assert(it != callbacks_.end());
-  std::function<void()> fn = std::move(it->second);
-  callbacks_.erase(it);
-  ++events_processed_;
-  VSCALE_TRACE_INSTANT_ARG(now_, TraceCategory::kSim, "event_fire", -1, -1, -1,
-                           "pending", pending_events());
-  fn();
-  return true;
 }
 
 void Simulator::RunUntil(TimeNs deadline) {
   while (true) {
-    // Peek: find next live entry without consuming it.
-    while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().when > deadline) {
+    SkimStale();
+    if (heap_.empty() || heap_[0].when > deadline) {
       break;
     }
-    Step();
+    FireTop();
+    // Same-tick batch: drain every event at Now() back-to-back. Equal-time events
+    // cannot overshoot the deadline, so it is not re-checked inside the batch.
+    while (true) {
+      SkimStale();
+      if (heap_.empty() || heap_[0].when != now_) {
+        break;
+      }
+      FireTop();
+    }
   }
   if (deadline > now_) {
     now_ = deadline;
@@ -110,17 +65,14 @@ bool Simulator::RunUntilCondition(const std::function<bool()>& stop, TimeNs dead
     if (stop()) {
       return true;
     }
-    while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().when > deadline) {
+    SkimStale();
+    if (heap_.empty() || heap_[0].when > deadline) {
       if (deadline > now_) {
         now_ = deadline;
       }
       return stop();
     }
-    Step();
+    FireTop();
   }
 }
 

@@ -154,11 +154,12 @@ TEST(SimulatorPropertyTest, RandomScheduleCancelConsistency) {
   }
 }
 
-// Regression for the ordered-container bookkeeping (callbacks_/cancelled_ are
-// std::map/std::set, never hashed): heavily interleaved schedule/cancel traffic
-// must replay the exact same firing order run after run. A hashed container
-// would still pass the set-consistency property above while silently reordering
-// equal-time events between runs.
+// Regression for the deterministic tie-break (the heap orders by (when, seq)
+// with seq drawn at schedule time; tombstoned cancels never perturb it):
+// heavily interleaved schedule/cancel traffic must replay the exact same
+// firing order run after run. An engine that hashed, or that let compaction
+// reorder equal-time entries, would still pass the set-consistency property
+// above while silently reordering ties between runs.
 TEST(SimulatorPropertyTest, InterleavedScheduleCancelReplaysIdentically) {
   auto run = [](uint64_t seed) {
     Simulator sim;
@@ -189,6 +190,177 @@ TEST(SimulatorPropertyTest, InterleavedScheduleCancelReplaysIdentically) {
       EXPECT_LE(first[i - 1].first, first[i].first) << "seed " << seed;
     }
   }
+}
+
+// Pinned by the Cancel contract in src/sim/event_queue.h: a cancelled slot is
+// recycled for later events under a new generation, and the stale EventId must
+// never reach the new tenant.
+TEST(SimulatorTest, CancelSlotReuseIsSafe) {
+  Simulator sim;
+  int old_fires = 0;
+  int new_fires = 0;
+  const Simulator::EventId old_id =
+      sim.ScheduleAt(Microseconds(10), [&] { ++old_fires; });
+  sim.Cancel(old_id);
+  // LIFO free list: the very next schedule reuses the slot just released.
+  const Simulator::EventId new_id =
+      sim.ScheduleAt(Microseconds(20), [&] { ++new_fires; });
+  EXPECT_EQ(static_cast<uint32_t>(new_id), static_cast<uint32_t>(old_id));
+  EXPECT_NE(new_id, old_id);  // but under a bumped generation
+  sim.Cancel(old_id);         // stale handle: must not touch the new tenant
+  sim.RunUntilIdle();
+  EXPECT_EQ(old_fires, 0);
+  EXPECT_EQ(new_fires, 1);
+  EXPECT_EQ(sim.Now(), Microseconds(20));
+}
+
+// Pinned by the Cancel contract in src/sim/event_queue.h: cancelling a fired
+// event, an id that was never issued, or kInvalidEvent is a harmless no-op.
+TEST(SimulatorTest, CancelAfterFireAndUnknownIdsAreNoOps) {
+  Simulator sim;
+  int fires = 0;
+  const Simulator::EventId fired_id =
+      sim.ScheduleAt(Microseconds(1), [&] { ++fires; });
+  int live_fires = 0;
+  sim.ScheduleAt(Microseconds(5), [&] { ++live_fires; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fires, 1);
+  sim.Cancel(fired_id);                    // already fired
+  sim.Cancel(Simulator::kInvalidEvent);    // the sentinel
+  sim.Cancel(static_cast<Simulator::EventId>(0x7fff) << 32 | 0x1234);  // never issued
+  sim.Cancel(fired_id);                    // and again, for double-cancel
+  sim.RunUntilIdle();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(live_fires, 1);  // unrelated live event unharmed
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+// The slab recycles released slots LIFO, so steady-state schedule/fire traffic
+// runs in a bounded set of slots instead of growing the arena: slot ids
+// (the low 32 bits of EventId) must repeat once the queue drains.
+TEST(SimulatorTest, SlabSlotsAreReusedAfterRelease) {
+  Simulator sim;
+  const Simulator::EventId first = sim.ScheduleAt(Microseconds(1), [] {});
+  sim.RunUntilIdle();
+  for (int round = 0; round < 100; ++round) {
+    const Simulator::EventId id = sim.ScheduleAt(Microseconds(1), [] {});
+    EXPECT_EQ(static_cast<uint32_t>(id), static_cast<uint32_t>(first))
+        << "round " << round;
+    EXPECT_NE(id, first);  // generation must differ every reuse
+    sim.RunUntilIdle();
+  }
+}
+
+// Same-tick batching (the RunUntil inner drain) must preserve schedule order
+// among survivors even when cancels punch holes in the batch.
+TEST(SimulatorTest, SameTickBatchPreservesScheduleOrderAcrossCancels) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<Simulator::EventId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(sim.ScheduleAt(Microseconds(7), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 50; i += 3) {
+    sim.Cancel(ids[static_cast<size_t>(i)]);
+  }
+  sim.RunUntil(Microseconds(7));
+  std::vector<int> expected;
+  for (int i = 0; i < 50; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(sim.Now(), Microseconds(7));
+}
+
+// Property: the engine's firing order must match a trivially-correct reference
+// model (stable sort of surviving events by (when, schedule order)) over random
+// schedule/cancel interleavings — the old-engine-vs-new-engine equivalence
+// check, with the reference standing in for the pre-rewrite container queue.
+TEST(SimulatorPropertyTest, FiringOrderMatchesReferenceModel) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Simulator sim;
+    Rng rng(seed);
+    struct Ref {
+      TimeNs when;
+      int tag;
+      bool cancelled = false;
+    };
+    std::vector<Ref> model;
+    std::vector<Simulator::EventId> ids;
+    std::vector<int> fired;
+    for (int i = 0; i < 400; ++i) {
+      // Coarse buckets force ties; the reference resolves them by index order.
+      const TimeNs when = Microseconds(1 + static_cast<TimeNs>(rng.NextBelow(25)));
+      ids.push_back(sim.ScheduleAt(when, [&fired, i] { fired.push_back(i); }));
+      model.push_back(Ref{when, i});
+      if (rng.Chance(0.35)) {
+        const size_t victim = rng.NextBelow(ids.size());
+        sim.Cancel(ids[victim]);
+        model[victim].cancelled = true;
+      }
+    }
+    sim.RunUntilIdle();
+    std::vector<int> expected;
+    for (TimeNs t = Microseconds(1); t <= Microseconds(25); t += Microseconds(1)) {
+      for (const Ref& r : model) {
+        if (!r.cancelled && r.when == t) expected.push_back(r.tag);
+      }
+    }
+    ASSERT_EQ(fired, expected) << "seed " << seed;
+  }
+}
+
+// Reschedule(id, when, fn) is specified as exactly Cancel(id) followed by
+// ScheduleAt(when, fn) — same slot reuse, same generation bump, same single
+// seq draw — so two simulators driven by the two spellings must fire the
+// identical sequence. The scheduler's advance-event rearm leans on this.
+TEST(SimulatorPropertyTest, RescheduleMatchesCancelPlusSchedule) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto run = [](uint64_t s, bool fused) {
+      Simulator sim;
+      Rng rng(s);
+      std::vector<std::pair<TimeNs, int>> fired;
+      Simulator::EventId tracked = Simulator::kInvalidEvent;
+      for (int i = 0; i < 200; ++i) {
+        const TimeNs when =
+            sim.Now() + Microseconds(1 + static_cast<TimeNs>(rng.NextBelow(10)));
+        const int tag = i;
+        auto fn = [&fired, &sim, tag] { fired.emplace_back(sim.Now(), tag); };
+        if (rng.Chance(0.5)) {
+          if (fused) {
+            tracked = sim.Reschedule(tracked, when, fn);
+          } else {
+            sim.Cancel(tracked);
+            tracked = sim.ScheduleAt(when, fn);
+          }
+        } else {
+          sim.ScheduleAt(when, fn);
+        }
+        if (rng.Chance(0.3)) sim.Step();
+      }
+      sim.RunUntilIdle();
+      return fired;
+    };
+    ASSERT_EQ(run(seed, true), run(seed, false)) << "seed " << seed;
+  }
+}
+
+// A Reschedule holding a dead handle (never issued, already fired, or the
+// sentinel) degrades to a plain ScheduleAt.
+TEST(SimulatorTest, RescheduleWithDeadIdActsAsFreshSchedule) {
+  Simulator sim;
+  int fires = 0;
+  const Simulator::EventId id = sim.Reschedule(
+      Simulator::kInvalidEvent, Microseconds(3), [&] { ++fires; });
+  EXPECT_NE(id, Simulator::kInvalidEvent);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fires, 1);
+  // The id is now fired/dead: rescheduling through it must not resurrect it.
+  const Simulator::EventId id2 = sim.Reschedule(id, Microseconds(9), [&] { ++fires; });
+  EXPECT_NE(id2, id);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(sim.Now(), Microseconds(9));
 }
 
 TEST(PeriodicTaskTest, FiresAtFixedPeriod) {

@@ -1,0 +1,180 @@
+// Tests for SmallVector, the inline-storage runqueue container
+// (src/base/small_vector.h). The scheduler keeps per-pCPU runqueues and
+// pending-port lists in it, so the inline->heap spill boundary and the
+// pointer-stability rules get exercised hard here.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "src/base/small_vector.h"
+
+namespace vscale {
+namespace {
+
+TEST(SmallVectorTest, StartsEmptyAndInline) {
+  SmallVector<int, 4> v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVectorTest, PushPopWithinInlineCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v.back(), 30);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i * 10);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.back(), 20);
+}
+
+TEST(SmallVectorTest, SpillsToHeapPastInlineCapacityAndKeepsContents) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVectorTest, InsertShiftsTail) {
+  SmallVector<int, 8> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);  // 0 1 2 3 4
+  v.insert(v.begin() + 2, 99);                 // 0 1 99 2 3 4
+  ASSERT_EQ(v.size(), 6u);
+  const int expected[] = {0, 1, 99, 2, 3, 4};
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(v[i], expected[i]);
+  // Insert that triggers the inline->heap spill mid-operation.
+  SmallVector<int, 4> w;
+  for (int i = 0; i < 4; ++i) w.push_back(i);
+  w.insert(w.begin(), -1);
+  EXPECT_FALSE(w.is_inline());
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_EQ(w[0], -1);
+  EXPECT_EQ(w[4], 3);
+}
+
+TEST(SmallVectorTest, EraseClosesTheGap) {
+  SmallVector<int, 8> v;
+  for (int i = 0; i < 6; ++i) v.push_back(i);  // 0 1 2 3 4 5
+  v.erase(v.begin() + 1);                      // 0 2 3 4 5
+  ASSERT_EQ(v.size(), 5u);
+  const int expected[] = {0, 2, 3, 4, 5};
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], expected[i]);
+  v.erase(v.begin() + 4);  // erase the (new) back
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.back(), 4);
+}
+
+TEST(SmallVectorTest, ClearKeepsStorageMode) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.is_inline());  // heap capacity retained for refill
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 10u);
+}
+
+TEST(SmallVectorTest, CopyIsDeep) {
+  SmallVector<int, 2> heap_src;
+  for (int i = 0; i < 8; ++i) heap_src.push_back(i);
+  SmallVector<int, 2> copy(heap_src);
+  copy[0] = 42;
+  EXPECT_EQ(heap_src[0], 0);
+  EXPECT_EQ(copy[0], 42);
+  ASSERT_EQ(copy.size(), 8u);
+  SmallVector<int, 2> assigned;
+  assigned.push_back(7);
+  assigned = heap_src;
+  ASSERT_EQ(assigned.size(), 8u);
+  EXPECT_EQ(assigned[3], 3);
+}
+
+TEST(SmallVectorTest, MoveStealsHeapAndCopiesInline) {
+  // Heap case: the buffer transfers by pointer and the source is left empty.
+  SmallVector<int, 2> heap_src;
+  for (int i = 0; i < 8; ++i) heap_src.push_back(i);
+  const int* buf = heap_src.data();
+  SmallVector<int, 2> heap_dst(std::move(heap_src));
+  EXPECT_EQ(heap_dst.data(), buf);
+  ASSERT_EQ(heap_dst.size(), 8u);
+  EXPECT_EQ(heap_dst[5], 5);
+  EXPECT_TRUE(heap_src.empty());  // NOLINT(bugprone-use-after-move): spec'd state
+  EXPECT_TRUE(heap_src.is_inline());
+  // Inline case: contents memcpy into the destination's own inline buffer.
+  SmallVector<int, 4> inline_src;
+  inline_src.push_back(1);
+  inline_src.push_back(2);
+  SmallVector<int, 4> inline_dst(std::move(inline_src));
+  EXPECT_TRUE(inline_dst.is_inline());
+  ASSERT_EQ(inline_dst.size(), 2u);
+  EXPECT_EQ(inline_dst[1], 2);
+  // Move-assignment over an existing heap vector.
+  SmallVector<int, 2> target;
+  for (int i = 0; i < 6; ++i) target.push_back(i);
+  SmallVector<int, 2> src2;
+  src2.push_back(9);
+  target = std::move(src2);
+  ASSERT_EQ(target.size(), 1u);
+  EXPECT_EQ(target[0], 9);
+}
+
+TEST(SmallVectorTest, ReserveNeverShrinksAndPreserves) {
+  SmallVector<int, 4> v;
+  v.push_back(5);
+  v.reserve(64);
+  EXPECT_GE(v.capacity(), 64u);
+  EXPECT_FALSE(v.is_inline());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 5);
+  const size_t cap = v.capacity();
+  v.reserve(2);  // no-op
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVectorTest, WorksWithPointerElements) {
+  // The scheduler's actual use: runqueues of Vcpu*.
+  int a = 1, b = 2, c = 3;
+  SmallVector<int*, 2> v;
+  v.push_back(&a);
+  v.push_back(&b);
+  v.push_back(&c);  // spills
+  EXPECT_FALSE(v.is_inline());
+  v.erase(v.begin());
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(*v[0], 2);
+  EXPECT_EQ(*v[1], 3);
+  // Range-for over the raw-pointer iterators.
+  int sum = 0;
+  for (int* p : v) sum += *p;
+  EXPECT_EQ(sum, 5);
+}
+
+TEST(SmallVectorTest, LargeStructElements) {
+  struct Entry {
+    uint64_t when;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t gen;
+  };
+  SmallVector<Entry, 3> v;
+  for (uint32_t i = 0; i < 40; ++i) {
+    v.push_back(Entry{i * 100, i, i, i + 1});
+  }
+  ASSERT_EQ(v.size(), 40u);
+  for (uint32_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(v[i].when, i * 100u);
+    EXPECT_EQ(v[i].gen, i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace vscale

@@ -1,0 +1,140 @@
+// bench_diff: side-by-side comparison of two BENCH_core.json snapshots.
+//
+//   bench_diff OLD.json NEW.json
+//   bench_diff --selftest
+//
+// Prints every numeric "metrics.*" key both files share as an old/new/ratio
+// table, flags keys present on only one side, and summarizes the geometric-
+// mean ratio over time-like (lower-is-better) metrics. It applies no
+// tolerance band and never fails on a regression — that is bench_core
+// --check's job; this tool is for eyeballing a change's shape, e.g.
+//   build/bench/bench_core --out /tmp/new.json
+//   build/tools/bench_diff bench/BENCH_core.baseline.json /tmp/new.json
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "tools/flat_json.h"
+
+namespace {
+
+using vscale::FlatJson;
+using vscale::FlatJsonValue;
+using vscale::ParseFlatJson;
+
+bool LoadJson(const char* path, FlatJson* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::string err;
+  if (!ParseFlatJson(text, out, &err)) {
+    std::fprintf(stderr, "bench_diff: %s: parse error: %s\n", path, err.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Heuristic for the summary line: ns/ms metrics are lower-is-better; rates
+// (*_per_sec, *_per_min) are higher-is-better and excluded from the mean so
+// one number is never counted in both directions.
+bool LowerIsBetter(const std::string& key) {
+  return key.size() >= 3 && (key.compare(key.size() - 3, 3, "_ns") == 0 ||
+                             key.find("_ms_per_") != std::string::npos);
+}
+
+int Diff(const char* old_path, const char* new_path) {
+  FlatJson oldj, newj;
+  if (!LoadJson(old_path, &oldj) || !LoadJson(new_path, &newj)) return 2;
+  std::printf("%-38s %14s %14s %8s\n", "metric", "old", "new", "ratio");
+  double log_sum = 0.0;
+  int log_n = 0;
+  int shared = 0;
+  for (const auto& [key, oldv] : oldj) {
+    if (key.rfind("metrics.", 0) != 0 || !oldv.is_number) continue;
+    const auto it = newj.find(key);
+    if (it == newj.end() || !it->second.is_number) {
+      std::printf("%-38s %14.2f %14s\n", key.c_str() + 8, oldv.number, "(gone)");
+      continue;
+    }
+    ++shared;
+    const double ratio = oldv.number != 0.0 ? it->second.number / oldv.number : 0.0;
+    std::printf("%-38s %14.2f %14.2f %7.2fx\n", key.c_str() + 8, oldv.number,
+                it->second.number, ratio);
+    if (LowerIsBetter(key) && ratio > 0.0) {
+      log_sum += std::log(ratio);
+      ++log_n;
+    }
+  }
+  for (const auto& [key, newv] : newj) {
+    if (key.rfind("metrics.", 0) != 0 || !newv.is_number) continue;
+    if (oldj.find(key) == oldj.end()) {
+      std::printf("%-38s %14s %14.2f\n", key.c_str() + 8, "(new)", newv.number);
+    }
+  }
+  if (shared == 0) {
+    std::fprintf(stderr, "bench_diff: no shared metrics.* keys\n");
+    return 2;
+  }
+  if (log_n > 0) {
+    const double geo = std::exp(log_sum / log_n);
+    std::printf("\ntime-like geomean ratio (new/old, lower is faster): %.3fx\n", geo);
+  }
+  return 0;
+}
+
+// Exercises parse + diff on two in-memory snapshots, checking the ratio math.
+int SelfTest() {
+  const std::string a =
+      "{\"schema\": \"vscale-bench-core-v1\", \"metrics\": "
+      "{\"event_schedule_fire_ns\": 40.0, \"events_per_sec\": 25000000, "
+      "\"gone_metric_ns\": 1.0}}";
+  const std::string b =
+      "{\"schema\": \"vscale-bench-core-v1\", \"metrics\": "
+      "{\"event_schedule_fire_ns\": 10.0, \"events_per_sec\": 100000000, "
+      "\"new_metric_ns\": 2.0}}";
+  FlatJson ja, jb;
+  std::string err;
+  if (!ParseFlatJson(a, &ja, &err) || !ParseFlatJson(b, &jb, &err)) {
+    std::fprintf(stderr, "selftest: parse failed: %s\n", err.c_str());
+    return 1;
+  }
+  const auto fire_a = ja.find("metrics.event_schedule_fire_ns");
+  const auto fire_b = jb.find("metrics.event_schedule_fire_ns");
+  if (fire_a == ja.end() || fire_b == jb.end() || !fire_a->second.is_number ||
+      fire_a->second.number != 40.0 || fire_b->second.number != 10.0) {
+    std::fprintf(stderr, "selftest: flattened lookup failed\n");
+    return 1;
+  }
+  if (!LowerIsBetter("metrics.event_schedule_fire_ns") ||
+      LowerIsBetter("metrics.events_per_sec") ||
+      !LowerIsBetter("metrics.testbed_wall_ms_per_sim_sec")) {
+    std::fprintf(stderr, "selftest: direction heuristic wrong\n");
+    return 1;
+  }
+  const auto schema = ja.find("schema");
+  if (schema == ja.end() || schema->second.is_number ||
+      schema->second.text != "vscale-bench-core-v1") {
+    std::fprintf(stderr, "selftest: schema string lookup failed\n");
+    return 1;
+  }
+  std::printf("bench_diff selftest: ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--selftest") == 0) return SelfTest();
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: bench_diff OLD.json NEW.json | --selftest\n");
+    return 2;
+  }
+  return Diff(argv[1], argv[2]);
+}

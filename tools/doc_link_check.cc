@@ -1,0 +1,246 @@
+// doc_link_check: dead-link and dead-anchor scanner for the repo's markdown.
+//
+//   doc_link_check ROOT_DIR
+//   doc_link_check --selftest
+//
+// Walks every .md file under ROOT_DIR (skipping build trees and .git),
+// extracts inline links/images [text](target), and verifies:
+//   - relative targets resolve to an existing file or directory (relative to
+//     the linking file; a leading '/' means repo-root-relative),
+//   - #anchor fragments match a heading in the target file, using GitHub's
+//     slug rules (lowercase, punctuation stripped, spaces to dashes, -N
+//     suffixes for duplicate headings).
+// External schemes (http:, https:, mailto:) are out of scope. Exit 1 on any
+// broken link, listing file:line for each; CI runs this next to the docs so
+// renames and heading edits cannot silently strand cross-references.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// GitHub's heading-to-anchor slug: lowercase; keep letters, digits, '-', '_';
+// spaces become '-'; everything else (punctuation, backticks) is dropped.
+std::string Slugify(const std::string& heading) {
+  std::string slug;
+  for (const char c : heading) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      slug.push_back(static_cast<char>(std::tolower(u)));
+    } else if (c == ' ') {
+      slug.push_back('-');
+    } else if (c == '-' || c == '_') {
+      slug.push_back(c);
+    }
+  }
+  return slug;
+}
+
+// All anchors a markdown file defines: each ATX heading's slug, with GitHub's
+// -1, -2... suffixes for repeats. Fenced code blocks are skipped so a '#'
+// comment inside one is not taken for a heading.
+std::set<std::string> CollectAnchors(const fs::path& md) {
+  std::set<std::string> anchors;
+  std::map<std::string, int> seen;
+  std::ifstream in(md);
+  std::string line;
+  bool in_fence = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("```", 0) == 0 || line.rfind("~~~", 0) == 0) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (in_fence || line.empty() || line[0] != '#') continue;
+    size_t level = 0;
+    while (level < line.size() && line[level] == '#') ++level;
+    if (level > 6 || level >= line.size() || line[level] != ' ') continue;
+    std::string text = line.substr(level + 1);
+    while (!text.empty() && (text.back() == ' ' || text.back() == '\r')) text.pop_back();
+    std::string slug = Slugify(text);
+    const int n = seen[slug]++;
+    if (n > 0) slug += "-" + std::to_string(n);
+    anchors.insert(slug);
+  }
+  return anchors;
+}
+
+struct Link {
+  std::string target;
+  int line;
+};
+
+// Inline links and images on one line: [text](target) / ![alt](target).
+// Reference-style links and autolinks are not used in this repo's docs.
+void ExtractLinks(const std::string& line, int lineno, std::vector<Link>* out) {
+  for (size_t i = 0; i + 1 < line.size(); ++i) {
+    if (line[i] != ']' || line[i + 1] != '(') continue;
+    const size_t start = i + 2;
+    size_t end = start;
+    int depth = 1;  // tolerate balanced parens inside the target
+    while (end < line.size() && depth > 0) {
+      if (line[end] == '(') ++depth;
+      if (line[end] == ')') --depth;
+      if (depth > 0) ++end;
+    }
+    if (depth != 0) continue;
+    std::string target = line.substr(start, end - start);
+    const size_t space = target.find(' ');  // strip "title" suffixes
+    if (space != std::string::npos) target.resize(space);
+    if (!target.empty()) out->push_back(Link{target, lineno});
+    i = end;
+  }
+}
+
+bool IsExternal(const std::string& target) {
+  return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0;
+}
+
+int CheckTree(const fs::path& root) {
+  std::vector<fs::path> md_files;
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    const std::string name = it->path().filename().string();
+    if (it->is_directory() &&
+        (name == ".git" || name.rfind("build", 0) == 0 || name == "third_party")) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && it->path().extension() == ".md") {
+      md_files.push_back(it->path());
+    }
+  }
+
+  int broken = 0;
+  int checked = 0;
+  for (const fs::path& md : md_files) {
+    std::ifstream in(md);
+    std::string line;
+    int lineno = 0;
+    bool in_fence = false;
+    std::vector<Link> links;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.rfind("```", 0) == 0 || line.rfind("~~~", 0) == 0) {
+        in_fence = !in_fence;
+        continue;
+      }
+      if (!in_fence) ExtractLinks(line, lineno, &links);
+    }
+    for (const Link& link : links) {
+      if (IsExternal(link.target)) continue;
+      ++checked;
+      std::string path_part = link.target;
+      std::string anchor;
+      const size_t hash = path_part.find('#');
+      if (hash != std::string::npos) {
+        anchor = path_part.substr(hash + 1);
+        path_part.resize(hash);
+      }
+      fs::path target_path;
+      if (path_part.empty()) {
+        target_path = md;  // same-file anchor
+      } else if (path_part[0] == '/') {
+        target_path = root / path_part.substr(1);
+      } else {
+        target_path = md.parent_path() / path_part;
+      }
+      std::error_code ec;
+      if (!fs::exists(target_path, ec)) {
+        std::fprintf(stderr, "%s:%d: broken link: %s (no such file)\n",
+                     md.lexically_relative(root).string().c_str(), link.line,
+                     link.target.c_str());
+        ++broken;
+        continue;
+      }
+      if (!anchor.empty()) {
+        if (!fs::is_regular_file(target_path, ec) ||
+            target_path.extension() != ".md") {
+          std::fprintf(stderr, "%s:%d: anchor on non-markdown target: %s\n",
+                       md.lexically_relative(root).string().c_str(), link.line,
+                       link.target.c_str());
+          ++broken;
+          continue;
+        }
+        const std::set<std::string> anchors = CollectAnchors(target_path);
+        if (anchors.find(anchor) == anchors.end()) {
+          std::fprintf(stderr, "%s:%d: broken anchor: %s (no heading '#%s')\n",
+                       md.lexically_relative(root).string().c_str(), link.line,
+                       link.target.c_str(), anchor.c_str());
+          ++broken;
+        }
+      }
+    }
+  }
+  std::printf("doc_link_check: %zu markdown files, %d internal links, %d broken\n",
+              md_files.size(), checked, broken);
+  return broken > 0 ? 1 : 0;
+}
+
+int SelfTest() {
+  // Slug rules, including punctuation stripping and backticks.
+  struct Case {
+    const char* heading;
+    const char* slug;
+  };
+  const Case cases[] = {
+      {"Quick start", "quick-start"},
+      {"BENCH_core.json schema", "bench_corejson-schema"},
+      {"The `--stall` flag", "the---stall-flag"},
+      {"What vScale does (and why)", "what-vscale-does-and-why"},
+  };
+  for (const Case& c : cases) {
+    if (Slugify(c.heading) != c.slug) {
+      std::fprintf(stderr, "selftest: Slugify(\"%s\") = \"%s\", want \"%s\"\n",
+                   c.heading, Slugify(c.heading).c_str(), c.slug);
+      return 1;
+    }
+  }
+  // Link extraction: two links on one line, image link, title suffix.
+  std::vector<Link> links;
+  ExtractLinks("see [a](x.md#y) and ![img](pic.png) or [b](z.md \"t\")", 1, &links);
+  if (links.size() != 3 || links[0].target != "x.md#y" ||
+      links[1].target != "pic.png" || links[2].target != "z.md") {
+    std::fprintf(stderr, "selftest: ExtractLinks got %zu links\n", links.size());
+    return 1;
+  }
+  // End-to-end on a temp tree: one good link, one broken file, one broken anchor.
+  const fs::path dir = fs::temp_directory_path() / "doc_link_check_selftest";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "docs");
+  std::ofstream(dir / "docs" / "good.md")
+      << "# Title here\n\ntext\n\n## Sub section\n";
+  std::ofstream(dir / "README.md")
+      << "[ok](docs/good.md#sub-section)\n"
+      << "[missing](docs/nope.md)\n"
+      << "[bad anchor](docs/good.md#absent)\n"
+      << "```\n[not a link check](inside/fence.md)\n```\n";
+  const int rc = CheckTree(dir);
+  fs::remove_all(dir);
+  if (rc != 1) {
+    std::fprintf(stderr, "selftest: expected broken-link exit 1, got %d\n", rc);
+    return 1;
+  }
+  std::printf("doc_link_check selftest: ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--selftest") == 0) return SelfTest();
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: doc_link_check ROOT_DIR | --selftest\n");
+    return 2;
+  }
+  return CheckTree(fs::path(argv[1]));
+}

@@ -1,0 +1,118 @@
+// Minimal flat-JSON reader for the perf tooling (bench_core --check and
+// bench_diff). BENCH_core.json is deliberately a flat schema — string or
+// numeric values, no arrays, nesting used only as dotted-key grouping — so a
+// full JSON parser is not needed and no third-party dependency is taken.
+//
+// ParseFlatJson flattens {"metrics": {"x": 1}} into {"metrics.x": 1}. It
+// accepts exactly the files this repo's tools emit; it is not a general JSON
+// validator (unknown escapes and exotic number forms are out of scope).
+
+#ifndef VSCALE_TOOLS_FLAT_JSON_H_
+#define VSCALE_TOOLS_FLAT_JSON_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace vscale {
+
+struct FlatJsonValue {
+  bool is_number = false;
+  double number = 0.0;
+  std::string text;  // verbatim for strings; the raw token for numbers
+};
+
+// Key order follows the file (std::map keeps output deterministic regardless).
+using FlatJson = std::map<std::string, FlatJsonValue>;
+
+// Returns false (and sets *error) on malformed input. Dotted keys record
+// nesting: {"a": {"b": 2}} -> {"a.b": 2}.
+inline bool ParseFlatJson(const std::string& in, FlatJson* out, std::string* error) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < in.size() && std::isspace(static_cast<unsigned char>(in[i]))) ++i;
+  };
+  auto fail = [&](const char* why) {
+    *error = why;
+    return false;
+  };
+  auto parse_string = [&](std::string* s) {
+    ++i;  // opening quote
+    s->clear();
+    while (i < in.size() && in[i] != '"') {
+      if (in[i] == '\\' && i + 1 < in.size()) ++i;  // keep escaped char verbatim
+      s->push_back(in[i++]);
+    }
+    if (i >= in.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  // Iterative descent over nested objects, tracking the dotted prefix.
+  std::string prefix;
+  std::map<size_t, std::string> prefix_at_depth;
+  int depth = 0;
+  skip_ws();
+  if (i >= in.size() || in[i] != '{') return fail("expected '{'");
+  ++i;
+  ++depth;
+  prefix_at_depth[1] = "";
+  while (depth > 0) {
+    skip_ws();
+    if (i >= in.size()) return fail("unexpected end of input");
+    if (in[i] == '}') {
+      ++i;
+      --depth;
+      skip_ws();
+      if (depth > 0 && i < in.size() && in[i] == ',') ++i;
+      continue;
+    }
+    if (in[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (in[i] != '"') return fail("expected key string");
+    std::string key;
+    if (!parse_string(&key)) return fail("unterminated key");
+    skip_ws();
+    if (i >= in.size() || in[i] != ':') return fail("expected ':'");
+    ++i;
+    skip_ws();
+    if (i >= in.size()) return fail("missing value");
+    const std::string full_key =
+        prefix_at_depth[static_cast<size_t>(depth)].empty()
+            ? key
+            : prefix_at_depth[static_cast<size_t>(depth)] + "." + key;
+    if (in[i] == '{') {
+      ++i;
+      ++depth;
+      prefix_at_depth[static_cast<size_t>(depth)] = full_key;
+    } else if (in[i] == '"') {
+      FlatJsonValue v;
+      if (!parse_string(&v.text)) return fail("unterminated string value");
+      (*out)[full_key] = v;
+    } else {
+      const size_t start = i;
+      while (i < in.size() && (std::isalnum(static_cast<unsigned char>(in[i])) ||
+                               in[i] == '+' || in[i] == '-' || in[i] == '.')) {
+        ++i;
+      }
+      if (i == start) return fail("unrecognized value");
+      FlatJsonValue v;
+      v.text = in.substr(start, i - start);
+      if (v.text == "true" || v.text == "false" || v.text == "null") {
+        // kept as text
+      } else {
+        v.is_number = true;
+        v.number = std::strtod(v.text.c_str(), nullptr);
+      }
+      (*out)[full_key] = v;
+    }
+  }
+  return true;
+}
+
+}  // namespace vscale
+
+#endif  // VSCALE_TOOLS_FLAT_JSON_H_
