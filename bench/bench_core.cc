@@ -29,7 +29,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <chrono>  // det_lint: allow(wall-clock)
+#include <chrono>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -58,8 +58,8 @@ inline void InjectedSlowdown() {
 }
 
 double NowSec() {
-  using Clock = std::chrono::steady_clock;  // det_lint: allow(wall-clock)
-  return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();  // det_lint: allow(wall-clock)
+  using Clock = std::chrono::steady_clock;  // vslint: allow(wall-clock, this benchmark measures real elapsed time; the simulations inside stay virtual-time)
+  return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
 }
 
 // ns per schedule+fire round trip on a hot, near-empty queue — the engine's
@@ -162,8 +162,8 @@ double MeasureSoakScenariosPerMin(int count) {
 
 struct Metrics {
   // Wall-clock measurement results, not simulation state: double is correct here.
-  double schedule_fire_ns = 0;  // det_lint: allow(float-accum)
-  double cancel_ns = 0;  // det_lint: allow(float-accum)
+  double schedule_fire_ns = 0;  // vslint: allow(float-accum, wall-clock measurement result, not simulation state)
+  double cancel_ns = 0;  // vslint: allow(float-accum, wall-clock measurement result, not simulation state)
   TestbedResult testbed;
   double soak_per_min = 0;
 };

@@ -58,6 +58,7 @@ class CaptureViolations {
 };
 
 RunOutcome RunScenarioOnce(const Scenario& s, uint64_t testbed_seed) {
+  s.Validate();
   RunOutcome out;
   MetricsRegistry::Global().Clear();
   StallAccountant::Global().Reset();
@@ -191,6 +192,7 @@ void SetFuzzCanary(bool enabled) { g_fuzz_canary = enabled; }
 bool FuzzCanaryEnabled() { return g_fuzz_canary; }
 
 OracleReport RunOracle(const Scenario& s) {
+  s.Validate();
   OracleReport report;
 
   const RunOutcome run1 = RunScenarioOnce(s, s.seed);

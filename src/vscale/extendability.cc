@@ -8,7 +8,7 @@ namespace {
 
 int RoundVcpus(TimeNs ext_ns, TimeNs period, VcpuRounding rounding) {
   // Single division for rounding, not accumulation; credits stay integral.
-  // det_lint: allow(float-accum)
+  // vslint: allow(float-accum, one rounding division, not accumulation; credits stay integral)
   const double ratio = static_cast<double>(ext_ns) / static_cast<double>(period);
   switch (rounding) {
     case VcpuRounding::kCeil:

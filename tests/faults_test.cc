@@ -340,6 +340,7 @@ TEST(ChannelFaultTest, NeverWrittenMailboxIsHonestlyEmptyNotTorn) {
 // standing in for the ticker (so seq advances like a healthy system and tests
 // control the published target directly).
 struct DaemonRig {
+  // vslint: allow(validate-before-use, the rig only forwards dc; VscaleDaemon's own constructor validates it)
   DaemonRig(DaemonConfig dc, const char* spec, bool with_watchdog = false,
             WatchdogConfig wc = WatchdogConfig{}) {
     MachineConfig mc;

@@ -59,10 +59,10 @@ TEST(ExtendabilityTest, SlackSplitsByWeightAmongCompetitors) {
   const TimeNs slack = fair0;  // releaser consumed 0
   // Competitor 1: fair 2 + (2/3) slack; competitor 2: fair 1 + (1/3) slack.
   // Tolerance comparisons on final values, not accumulation.
-  // det_lint: allow(float-accum)
+  // vslint: allow(float-accum, tolerance comparison on a final value, not accumulation)
   EXPECT_NEAR(static_cast<double>(out[1].ext_ns),
               static_cast<double>(2 * kPeriod + slack * 2 / 3), 100.0);
-  // det_lint: allow(float-accum)
+  // vslint: allow(float-accum, tolerance comparison on a final value, not accumulation)
   EXPECT_NEAR(static_cast<double>(out[2].ext_ns),
               static_cast<double>(kPeriod + slack / 3), 100.0);
 }

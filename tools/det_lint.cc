@@ -1,439 +1,59 @@
-// det_lint: a dependency-free static pass that greps the tree for constructs
-// known to break the bit-determinism this repro's substitution argument rests
-// on (docs/CHECKING.md has the full catalog and rationale).
+// det_lint — determinism lint for the vScale testbed.
 //
-//   det_lint <root> [subdir...]
-//       Scans <root>/src, bench, tests, tools, examples (or the listed subdirs)
-//       for *.h/*.cc/*.cpp/*.hpp files and reports violations. Exit 1 on any
-//       finding — the ctest entry keeps the tree clean.
+// Historically a standalone scanner; now a thin alias over the shared lint
+// engine in tools/lintlib/ that runs only the determinism rule family. The
+// CLI is unchanged (CI and ctest invoke it the same way), and the semantic
+// protocol rules live in the sibling tools/vslint.cc. Rule catalogue and
+// rationale: docs/CHECKING.md.
 //
-//   det_lint --selftest
-//       Runs the rule engine over built-in positive/negative snippets.
-//
-// Rules (suppress a deliberate use with `// det_lint: allow(<rule>)` on the
-// same line, or alone on the line above):
-//   unordered-container  unordered_map/unordered_set — hashed iteration order
-//                        is implementation-defined and perturbs replays.
-//   raw-rand             std::rand/srand/drand48/random_device — RNG outside
-//                        the seeded, per-component vscale::Rng forks.
-//   wall-clock           system_clock/steady_clock/gettimeofday/time(nullptr)
-//                        — host time leaking into virtual time.
-//   pointer-key          std::map/std::set keyed by a pointer type — iterates
-//                        in allocation-address order, which varies per run.
-//   float-accum          float/double declarations whose name involves credit
-//                        or *_ns — order-sensitive accumulation where the
-//                        scheduler needs exact TimeNs (int64) arithmetic.
-//   faults-allow-escape  `allow()` markers inside src/faults/ or src/fuzz/ —
-//                        the fault plane and the fuzzer must stay escape-free:
-//                        injected chaos and generated scenarios must replay
-//                        bit-identically, so their randomness comes only from
-//                        src/base/rng.h, with no suppressions at all.
-//
-// Comments and string/char literals are stripped before matching (so this file
-// does not flag itself); allow-annotations are read from the raw line first.
+// Rules: unordered-container, raw-rand, wall-clock, pointer-key, float-accum,
+// and faults-allow-escape (no suppression markers at all inside src/faults/
+// or src/fuzz/ — that finding is itself unsuppressable). Suppress a
+// deliberate use with `// det_lint: allow(<rule>)` on the line or alone on
+// the line above; prefer the vslint form with a reason for new code.
 
 #include <cstdio>
 #include <cstring>
-#include <algorithm>
-#include <filesystem>
-#include <fstream>
-#include <set>
 #include <string>
-#include <utility>
 #include <vector>
 
-namespace {
-
-namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string detail;
-};
-
-bool IsIdentChar(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-// Whole-word occurrence of `word` in `code` (neither neighbor an ident char).
-bool ContainsWord(const std::string& code, const char* word) {
-  const size_t n = std::strlen(word);
-  size_t pos = 0;
-  while ((pos = code.find(word, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
-    const bool right_ok = pos + n >= code.size() || !IsIdentChar(code[pos + n]);
-    if (left_ok && right_ok) return true;
-    pos += n;
-  }
-  return false;
-}
-
-// Replaces comments and string/char literal bodies with spaces, preserving
-// line structure. `in_block` carries /* ... */ state across lines.
-std::string StripLine(const std::string& line, bool* in_block) {
-  std::string out;
-  out.reserve(line.size());
-  size_t i = 0;
-  while (i < line.size()) {
-    if (*in_block) {
-      if (line.compare(i, 2, "*/") == 0) {
-        *in_block = false;
-        i += 2;
-      } else {
-        ++i;
-      }
-      out.push_back(' ');
-      continue;
-    }
-    if (line.compare(i, 2, "//") == 0) break;  // rest of line is comment
-    if (line.compare(i, 2, "/*") == 0) {
-      *in_block = true;
-      out.append("  ");
-      i += 2;
-      continue;
-    }
-    if (line[i] == '"' || line[i] == '\'') {
-      const char quote = line[i];
-      out.push_back(quote);
-      ++i;
-      while (i < line.size() && line[i] != quote) {
-        if (line[i] == '\\' && i + 1 < line.size()) {
-          out.append("  ");
-          i += 2;
-        } else {
-          out.push_back(' ');
-          ++i;
-        }
-      }
-      if (i < line.size()) {
-        out.push_back(quote);
-        ++i;
-      }
-      continue;
-    }
-    out.push_back(line[i]);
-    ++i;
-  }
-  return out;
-}
-
-// Collects every rule named in `det_lint: allow(<rule>)` markers on the line.
-void ParseAllows(const std::string& raw, std::vector<std::string>* allows) {
-  static const char kMarker[] = "det_lint: allow(";
-  size_t pos = 0;
-  while ((pos = raw.find(kMarker, pos)) != std::string::npos) {
-    pos += sizeof(kMarker) - 1;
-    const size_t end = raw.find(')', pos);
-    if (end == std::string::npos) break;
-    allows->push_back(raw.substr(pos, end - pos));
-    pos = end + 1;
-  }
-}
-
-// True when the first template argument of `std::map<`/`std::set<` at `pos`
-// (pos = index just past the '<') names a pointer type.
-bool FirstTemplateArgIsPointer(const std::string& code, size_t pos) {
-  int depth = 0;
-  std::string arg;
-  for (size_t i = pos; i < code.size(); ++i) {
-    const char c = code[i];
-    if (c == '<') {
-      ++depth;
-    } else if (c == '>') {
-      if (depth == 0) break;
-      --depth;
-    } else if (c == ',' && depth == 0) {
-      break;
-    }
-    arg.push_back(c);
-  }
-  while (!arg.empty() && (arg.back() == ' ' || arg.back() == '\t')) arg.pop_back();
-  return !arg.empty() && arg.back() == '*';
-}
-
-bool HasPointerKeyedContainer(const std::string& code) {
-  for (const char* tmpl : {"std::map<", "std::set<"}) {
-    const size_t n = std::strlen(tmpl);
-    size_t pos = 0;
-    while ((pos = code.find(tmpl, pos)) != std::string::npos) {
-      if (FirstTemplateArgIsPointer(code, pos + n)) return true;
-      pos += n;
-    }
-  }
-  return false;
-}
-
-// float/double declaration (or member) whose identifier suggests credit or
-// nanosecond bookkeeping — the quantities the scheduler must keep integral.
-bool HasFloatTimeOrCredit(const std::string& code) {
-  if (!ContainsWord(code, "float") && !ContainsWord(code, "double")) return false;
-  if (code.find("credit") != std::string::npos) return true;
-  // Any identifier token ending in `_ns`.
-  size_t pos = 0;
-  while ((pos = code.find("_ns", pos)) != std::string::npos) {
-    const bool right_ok =
-        pos + 3 >= code.size() || !IsIdentChar(code[pos + 3]);
-    if (right_ok && pos > 0 && IsIdentChar(code[pos - 1])) return true;
-    pos += 3;
-  }
-  return false;
-}
-
-struct Rule {
-  const char* name;
-  const char* message;
-  bool (*match)(const std::string& code);
-};
-
-const Rule kRules[] = {
-    {"unordered-container",
-     "hashed container: iteration order is implementation-defined; use "
-     "std::map/std::set keyed by a stable id",
-     [](const std::string& c) {
-       return ContainsWord(c, "unordered_map") ||
-              ContainsWord(c, "unordered_set") ||
-              ContainsWord(c, "unordered_multimap") ||
-              ContainsWord(c, "unordered_multiset");
-     }},
-    {"raw-rand",
-     "RNG outside the seeded vscale::Rng forks; replays diverge",
-     [](const std::string& c) {
-       return ContainsWord(c, "rand") || ContainsWord(c, "srand") ||
-              ContainsWord(c, "drand48") || ContainsWord(c, "lrand48") ||
-              ContainsWord(c, "mrand48") || ContainsWord(c, "random_device");
-     }},
-    {"wall-clock",
-     "host wall-clock leaking into the DES; use Simulator::Now()",
-     [](const std::string& c) {
-       return ContainsWord(c, "system_clock") ||
-              ContainsWord(c, "steady_clock") ||
-              ContainsWord(c, "high_resolution_clock") ||
-              ContainsWord(c, "gettimeofday") ||
-              ContainsWord(c, "clock_gettime") ||
-              c.find("time(nullptr)") != std::string::npos ||
-              c.find("time(NULL)") != std::string::npos;
-     }},
-    {"pointer-key",
-     "ordered container keyed by a pointer: iterates in allocation-address "
-     "order, which varies across runs",
-     HasPointerKeyedContainer},
-    {"float-accum",
-     "float/double credit or *_ns bookkeeping: accumulation is "
-     "order-sensitive; keep it in TimeNs (int64)",
-     HasFloatTimeOrCredit},
-};
-
-void ScanSource(const std::string& label, const std::string& content,
-                std::vector<Finding>* findings) {
-  std::vector<std::string> lines;
-  {
-    std::string cur;
-    for (char c : content) {
-      if (c == '\n') {
-        lines.push_back(std::move(cur));
-        cur.clear();
-      } else {
-        cur.push_back(c);
-      }
-    }
-    lines.push_back(std::move(cur));
-  }
-
-  bool in_block = false;
-  // The fault plane and the fuzzer may not carry suppressions at all: every
-  // allow() marker in src/faults/ or src/fuzz/ is itself a finding (the markers
-  // still suppress their rule, but the scan fails regardless, so there is no
-  // quiet way out).
-  const bool no_allows_here =
-      label.find("src/faults") != std::string::npos ||
-      label.find("src/fuzz") != std::string::npos;
-  // allowed[i] = rules suppressed on line i (0-based).
-  std::vector<std::vector<std::string>> allowed(lines.size());
-  std::vector<std::string> stripped(lines.size());
-  for (size_t i = 0; i < lines.size(); ++i) {
-    std::vector<std::string> allows;
-    ParseAllows(lines[i], &allows);
-    stripped[i] = StripLine(lines[i], &in_block);
-    if (allows.empty()) continue;
-    if (no_allows_here) {
-      findings->push_back(
-          {label, static_cast<int>(i) + 1, "faults-allow-escape",
-           "allow() escapes are banned in src/faults and src/fuzz: injected "
-           "chaos and generated scenarios must replay bit-identically, "
-           "randomness only via src/base/rng.h"});
-    }
-    for (const auto& a : allows) allowed[i].push_back(a);
-    // A comment-only allow line covers the next line too.
-    const bool code_blank =
-        stripped[i].find_first_not_of(" \t") == std::string::npos;
-    if (code_blank && i + 1 < lines.size()) {
-      for (const auto& a : allows) allowed[i + 1].push_back(a);
-    }
-  }
-
-  for (size_t i = 0; i < lines.size(); ++i) {
-    for (const Rule& rule : kRules) {
-      if (!rule.match(stripped[i])) continue;
-      if (std::find(allowed[i].begin(), allowed[i].end(), rule.name) !=
-          allowed[i].end()) {
-        continue;
-      }
-      findings->push_back(
-          {label, static_cast<int>(i) + 1, rule.name, rule.message});
-    }
-  }
-}
-
-bool ScanFile(const fs::path& path, std::vector<Finding>* findings) {
-  std::ifstream f(path);
-  if (!f) {
-    std::fprintf(stderr, "det_lint: cannot open %s\n", path.c_str());
-    return false;
-  }
-  std::string content((std::istreambuf_iterator<char>(f)),
-                      std::istreambuf_iterator<char>());
-  ScanSource(path.string(), content, findings);
-  return true;
-}
-
-bool HasSourceExtension(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp" ||
-         ext == ".cxx";
-}
-
-int ScanTree(const std::vector<fs::path>& roots) {
-  std::vector<fs::path> files;
-  for (const auto& root : roots) {
-    for (const auto& entry : fs::recursive_directory_iterator(root)) {
-      if (entry.is_regular_file() && HasSourceExtension(entry.path())) {
-        files.push_back(entry.path());
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  std::vector<Finding> findings;
-  bool io_ok = true;
-  for (const auto& f : files) io_ok = ScanFile(f, &findings) && io_ok;
-
-  for (const auto& f : findings) {
-    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
-                 f.rule.c_str(), f.detail.c_str());
-  }
-  if (!findings.empty() || !io_ok) {
-    std::fprintf(stderr, "det_lint: %zu finding(s) in %zu files\n",
-                 findings.size(), files.size());
-    return 1;
-  }
-  std::printf("det_lint: OK (%zu files clean)\n", files.size());
-  return 0;
-}
-
-// --- selftest -------------------------------------------------------------
-
-int Expect(const char* label, const std::string& snippet,
-           const std::vector<std::string>& want_rules) {
-  std::vector<Finding> findings;
-  ScanSource(label, snippet, &findings);
-  std::vector<std::string> got;
-  for (const auto& f : findings) got.push_back(f.rule);
-  std::sort(got.begin(), got.end());
-  std::vector<std::string> want = want_rules;
-  std::sort(want.begin(), want.end());
-  if (got != want) {
-    std::fprintf(stderr, "det_lint selftest: %s: got {", label);
-    for (const auto& r : got) std::fprintf(stderr, " %s", r.c_str());
-    std::fprintf(stderr, " } want {");
-    for (const auto& r : want) std::fprintf(stderr, " %s", r.c_str());
-    std::fprintf(stderr, " }\n");
-    return 1;
-  }
-  return 0;
-}
-
-int SelfTest() {
-  int failures = 0;
-  failures += Expect("hashed-map", "std::unordered_map<int, int> m;\n",
-                     {"unordered-container"});
-  failures += Expect("hashed-set-word-boundary",
-                     "my_unordered_map_like x;  // no hit: not a whole word\n",
-                     {});
-  failures += Expect("rand", "int x = rand() % 6;\n", {"raw-rand"});
-  failures += Expect("rand-in-name", "int grand_total = 0;\n", {});
-  failures += Expect("random-device", "std::random_device rd;\n", {"raw-rand"});
-  failures += Expect("wall-clock",
-                     "auto t = std::chrono::steady_clock::now();\n",
-                     {"wall-clock"});
-  failures += Expect("time-null", "long t = time(nullptr);\n", {"wall-clock"});
-  failures += Expect("pointer-key", "std::map<Vcpu*, int> owners;\n",
-                     {"pointer-key"});
-  failures += Expect("value-key", "std::map<VcpuId, int> owners;\n", {});
-  failures += Expect("float-credit", "double credit_share = 0.0;\n",
-                     {"float-accum"});
-  failures += Expect("float-ns", "float slice_ns = 0;\n", {"float-accum"});
-  failures += Expect("float-plain", "double utilization = 0.0;\n", {});
-  failures += Expect("comment-only",
-                     "// std::unordered_map lives here in spirit\n", {});
-  failures += Expect("string-only",
-                     "const char* s = \"std::unordered_map\";\n", {});
-  failures += Expect("allow-same-line",
-                     "std::unordered_map<int,int> m;  "
-                     "// det_lint: allow(unordered-container)\n",
-                     {});
-  failures += Expect("allow-line-above",
-                     "// det_lint: allow(raw-rand)\nint x = rand();\n", {});
-  failures += Expect("allow-wrong-rule",
-                     "// det_lint: allow(wall-clock)\nint x = rand();\n",
-                     {"raw-rand"});
-  failures += Expect("two-hits",
-                     "std::unordered_set<int> s; int x = rand();\n",
-                     {"unordered-container", "raw-rand"});
-  // In src/faults/, the allow marker itself is a finding (and the scan fails
-  // whether or not it also suppressed a rule).
-  failures += Expect("src/faults/escape-banned.cc",
-                     "// det_lint: allow(raw-rand)\nint x = rand();\n",
-                     {"faults-allow-escape"});
-  failures += Expect("src/fuzz/escape-banned-too.cc",
-                     "// det_lint: allow(raw-rand)\nint x = rand();\n",
-                     {"faults-allow-escape"});
-  failures += Expect("src/base/escape-fine-elsewhere.cc",
-                     "// det_lint: allow(raw-rand)\nint x = rand();\n", {});
-  if (failures != 0) {
-    std::fprintf(stderr, "det_lint: selftest FAILED (%d case(s))\n", failures);
-    return 1;
-  }
-  std::printf("det_lint: selftest OK (20 cases)\n");
-  return 0;
-}
-
-}  // namespace
+#include "tools/lintlib/driver.h"
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--selftest") == 0) {
-    return SelfTest();
+    const int failures = vslint::RunSelfTest(/*full=*/false);
+    if (failures != 0) {
+      std::fprintf(stderr, "det_lint: selftest FAILED (%d case(s))\n",
+                   failures);
+      return 1;
+    }
+    std::printf("det_lint: selftest OK\n");
+    return 0;
   }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: det_lint <root> [subdir...] | det_lint --selftest\n");
     return 2;
   }
-  const fs::path root = argv[1];
-  std::vector<fs::path> roots;
-  if (argc > 2) {
-    for (int i = 2; i < argc; ++i) roots.push_back(root / argv[i]);
-  } else {
-    for (const char* sub : {"src", "bench", "tests", "tools", "examples"}) {
-      if (fs::is_directory(root / sub)) roots.push_back(root / sub);
-    }
-  }
-  if (roots.empty()) {
-    std::fprintf(stderr, "det_lint: no scannable directories under %s\n",
-                 root.c_str());
+  std::vector<std::string> subdirs;
+  for (int i = 2; i < argc; ++i) subdirs.push_back(argv[i]);
+
+  const vslint::TreeLoad tree = vslint::LoadTree(argv[1], subdirs);
+  if (tree.file_count == 0) {
+    std::fprintf(stderr, "det_lint: no scannable sources under %s\n", argv[1]);
     return 2;
   }
-  return ScanTree(roots);
+  vslint::LintOptions opts;
+  opts.families = {"determinism"};
+  opts.stale_check = false;  // vslint owns marker-staleness enforcement
+  const std::vector<vslint::Finding> findings =
+      vslint::RunLint(tree.project, opts);
+  vslint::PrintFindings(findings, stderr);
+  if (!findings.empty() || !tree.io_ok) {
+    std::fprintf(stderr, "det_lint: %zu finding(s) in %zu files\n",
+                 findings.size(), tree.file_count);
+    return 1;
+  }
+  std::printf("det_lint: OK (%zu files clean)\n", tree.file_count);
+  return 0;
 }

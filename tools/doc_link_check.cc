@@ -4,15 +4,19 @@
 //   doc_link_check --selftest
 //
 // Walks every .md file under ROOT_DIR (skipping build trees and .git),
-// extracts inline links/images [text](target), and verifies:
+// extracts inline links/images [text](target) plus reference-style links
+// [text][ref] / [text][] with their [ref]: target definitions, and verifies:
 //   - relative targets resolve to an existing file or directory (relative to
 //     the linking file; a leading '/' means repo-root-relative),
 //   - #anchor fragments match a heading in the target file, using GitHub's
 //     slug rules (lowercase, punctuation stripped, spaces to dashes, -N
-//     suffixes for duplicate headings).
-// External schemes (http:, https:, mailto:) are out of scope. Exit 1 on any
-// broken link, listing file:line for each; CI runs this next to the docs so
-// renames and heading edits cannot silently strand cross-references.
+//     suffixes for duplicate headings),
+//   - every reference use resolves to a definition in the same file, and
+//     every definition's target is checked like an inline link.
+// Inline code spans (`...`) are ignored, as are fenced blocks. External
+// schemes (http:, https:, mailto:) are out of scope. Exit 1 on any broken
+// link, listing file:line for each; CI runs this next to the docs so renames
+// and heading edits cannot silently strand cross-references.
 
 #include <cctype>
 #include <cstdio>
@@ -78,8 +82,21 @@ struct Link {
   int line;
 };
 
+// Blanks `code` spans so bracket/paren patterns inside them are never taken
+// for links. An unpaired backtick blanks nothing (conservative).
+std::string StripCodeSpans(const std::string& line) {
+  std::string out = line;
+  size_t i = 0;
+  while ((i = out.find('`', i)) != std::string::npos) {
+    const size_t close = out.find('`', i + 1);
+    if (close == std::string::npos) break;
+    for (size_t k = i; k <= close; ++k) out[k] = ' ';
+    i = close + 1;
+  }
+  return out;
+}
+
 // Inline links and images on one line: [text](target) / ![alt](target).
-// Reference-style links and autolinks are not used in this repo's docs.
 void ExtractLinks(const std::string& line, int lineno, std::vector<Link>* out) {
   for (size_t i = 0; i + 1 < line.size(); ++i) {
     if (line[i] != ']' || line[i + 1] != '(') continue;
@@ -97,6 +114,62 @@ void ExtractLinks(const std::string& line, int lineno, std::vector<Link>* out) {
     if (space != std::string::npos) target.resize(space);
     if (!target.empty()) out->push_back(Link{target, lineno});
     i = end;
+  }
+}
+
+// A reference definition line: up to 3 leading spaces, `[ref]: target` with
+// an optional <...> wrapper and trailing title. Labels are case-insensitive.
+bool ExtractRefDef(const std::string& line, std::string* ref,
+                   std::string* target) {
+  size_t i = 0;
+  while (i < line.size() && i < 3 && line[i] == ' ') ++i;
+  if (i >= line.size() || line[i] != '[') return false;
+  const size_t close = line.find(']', i + 1);
+  if (close == std::string::npos || close + 1 >= line.size() ||
+      line[close + 1] != ':') {
+    return false;
+  }
+  *ref = line.substr(i + 1, close - i - 1);
+  for (char& c : *ref) c = static_cast<char>(std::tolower(c));
+  size_t t = close + 2;
+  while (t < line.size() && (line[t] == ' ' || line[t] == '\t')) ++t;
+  size_t e = t;
+  while (e < line.size() && line[e] != ' ' && line[e] != '\t') ++e;
+  *target = line.substr(t, e - t);
+  if (target->size() >= 2 && target->front() == '<' && target->back() == '>') {
+    *target = target->substr(1, target->size() - 2);
+  }
+  return !ref->empty() && !target->empty();
+}
+
+struct RefUse {
+  std::string ref;
+  int line;
+};
+
+// Reference-style uses on one line: [text][ref] and collapsed [text][]. The
+// char before the opening bracket must not be alphanumeric or ']', so code
+// like a[i][j] in prose is not taken for a reference.
+void ExtractRefUses(const std::string& line, int lineno,
+                    std::vector<RefUse>* out) {
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] != '[') continue;
+    if (i > 0) {
+      const unsigned char prev = static_cast<unsigned char>(line[i - 1]);
+      if (std::isalnum(prev) || line[i - 1] == ']') continue;
+    }
+    const size_t close = line.find(']', i + 1);
+    if (close == std::string::npos || close + 1 >= line.size() ||
+        line[close + 1] != '[') {
+      continue;
+    }
+    const size_t close2 = line.find(']', close + 2);
+    if (close2 == std::string::npos) continue;
+    std::string ref = line.substr(close + 2, close2 - close - 2);
+    if (ref.empty()) ref = line.substr(i + 1, close - i - 1);  // collapsed
+    for (char& c : ref) c = static_cast<char>(std::tolower(c));
+    if (!ref.empty()) out->push_back(RefUse{ref, lineno});
+    i = close2;
   }
 }
 
@@ -128,13 +201,32 @@ int CheckTree(const fs::path& root) {
     int lineno = 0;
     bool in_fence = false;
     std::vector<Link> links;
+    std::map<std::string, Link> refdefs;  // lowercased ref -> target
+    std::vector<RefUse> refuses;
     while (std::getline(in, line)) {
       ++lineno;
       if (line.rfind("```", 0) == 0 || line.rfind("~~~", 0) == 0) {
         in_fence = !in_fence;
         continue;
       }
-      if (!in_fence) ExtractLinks(line, lineno, &links);
+      if (in_fence) continue;
+      const std::string clean = StripCodeSpans(line);
+      std::string ref, target;
+      if (ExtractRefDef(clean, &ref, &target)) {
+        refdefs[ref] = Link{target, lineno};
+        continue;  // a definition line is not also a link use
+      }
+      ExtractLinks(clean, lineno, &links);
+      ExtractRefUses(clean, lineno, &refuses);
+    }
+    // Each definition's target is a link; each use must have a definition.
+    for (const auto& [ref, def] : refdefs) links.push_back(def);
+    for (const RefUse& use : refuses) {
+      if (refdefs.find(use.ref) != refdefs.end()) continue;
+      std::fprintf(stderr, "%s:%d: undefined link reference: [%s]\n",
+                   md.lexically_relative(root).string().c_str(), use.line,
+                   use.ref.c_str());
+      ++broken;
     }
     for (const Link& link : links) {
       if (IsExternal(link.target)) continue;
@@ -213,7 +305,33 @@ int SelfTest() {
     std::fprintf(stderr, "selftest: ExtractLinks got %zu links\n", links.size());
     return 1;
   }
-  // End-to-end on a temp tree: one good link, one broken file, one broken anchor.
+  // Reference-style parsing: definition, use, collapsed use, prose indexing.
+  std::string ref, target;
+  if (!ExtractRefDef("[Spec]: docs/spec.md#rules \"title\"", &ref, &target) ||
+      ref != "spec" || target != "docs/spec.md#rules") {
+    std::fprintf(stderr, "selftest: ExtractRefDef failed (%s -> %s)\n",
+                 ref.c_str(), target.c_str());
+    return 1;
+  }
+  if (ExtractRefDef("see [a](x.md) here", &ref, &target) ||
+      ExtractRefDef("[use][spec]", &ref, &target)) {
+    std::fprintf(stderr, "selftest: ExtractRefDef false positive\n");
+    return 1;
+  }
+  std::vector<RefUse> uses;
+  ExtractRefUses("see [the spec][Spec] and [Spec][] but not a[i][j]", 1,
+                 &uses);
+  if (uses.size() != 2 || uses[0].ref != "spec" || uses[1].ref != "spec") {
+    std::fprintf(stderr, "selftest: ExtractRefUses got %zu uses\n",
+                 uses.size());
+    return 1;
+  }
+  if (StripCodeSpans("a `[x](y.md)` b") != "a             b") {
+    std::fprintf(stderr, "selftest: StripCodeSpans failed\n");
+    return 1;
+  }
+  // End-to-end on a temp tree: one good link, one broken file, one broken
+  // anchor, one undefined reference, one dead reference target.
   const fs::path dir = fs::temp_directory_path() / "doc_link_check_selftest";
   fs::remove_all(dir);
   fs::create_directories(dir / "docs");
@@ -223,6 +341,9 @@ int SelfTest() {
       << "[ok](docs/good.md#sub-section)\n"
       << "[missing](docs/nope.md)\n"
       << "[bad anchor](docs/good.md#absent)\n"
+      << "[ok ref][good] and [no def][ghost]\n"
+      << "[good]: docs/good.md\n"
+      << "[dead]: docs/gone.md\n"
       << "```\n[not a link check](inside/fence.md)\n```\n";
   const int rc = CheckTree(dir);
   fs::remove_all(dir);

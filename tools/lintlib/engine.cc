@@ -1,0 +1,244 @@
+#include "tools/lintlib/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "tools/lintlib/rules.h"
+
+namespace vslint {
+
+namespace {
+
+bool InNoAllowZone(const std::string& rel) {
+  return rel.rfind("src/faults/", 0) == 0 || rel.rfind("src/fuzz/", 0) == 0;
+}
+
+}  // namespace
+
+const std::vector<RuleDef>& AllRules() {
+  static const std::vector<RuleDef> kRules = {
+      // determinism (line-pattern rules, migrated from det_lint)
+      {"unordered-container", "determinism",
+       "no hashed containers: iteration order is implementation-defined and "
+       "perturbs replays",
+       rules::UnorderedContainer},
+      {"raw-rand", "determinism",
+       "all randomness flows through the seeded vscale::Rng forks",
+       rules::RawRand},
+      {"wall-clock", "determinism",
+       "host time never leaks into virtual time; use Simulator::Now()",
+       rules::WallClock},
+      {"pointer-key", "determinism",
+       "no std::map/std::set keyed by a pointer: allocation-address order "
+       "varies per run",
+       rules::PointerKey},
+      {"float-accum", "determinism",
+       "credit and *_ns bookkeeping stays in TimeNs (int64); float "
+       "accumulation is order-sensitive",
+       rules::FloatAccum},
+      {"faults-allow-escape", "determinism",
+       "src/faults/ and src/fuzz/ carry no lint escapes at all", nullptr},
+      // event-lifecycle
+      {"event-owner", "event-lifecycle",
+       "a stored EventId member must have a Cancel()/Reschedule() owner "
+       "somewhere in the project",
+       rules::EventOwner},
+      {"event-freeze-path", "event-lifecycle",
+       "freeze-path layers (src/guest/, src/vscale/) never persist raw "
+       "EventIds; own timers via PeriodicTask",
+       rules::EventFreezePath},
+      // stall-attribution
+      {"stall-hook", "stall-attribution",
+       "every run-state mutation in machine.cc / kernel_sched.cc sits in a "
+       "function carrying a VSCALE_STALL_HOOK attribution",
+       rules::StallHook},
+      // observability
+      {"metric-docs", "observability",
+       "every metric name registered in src/ appears in the docs",
+       rules::MetricDocs},
+      {"trace-docs", "observability",
+       "every trace event name emitted in src/ appears in the docs",
+       rules::TraceDocs},
+      {"trace-pairing", "observability",
+       "VSCALE_TRACE_BEGIN/END slice names balance within each file",
+       rules::TracePairing},
+      // validate
+      {"validate-before-use", "validate",
+       "a constructor or Run* function taking a Validate()-bearing config "
+       "calls Validate() before using it",
+       rules::ValidateBeforeUse},
+      // meta (engine passes)
+      {"allow-needs-reason", "meta",
+       "every vslint: allow(rule, reason) marker carries a non-empty reason",
+       nullptr},
+      {"stale-suppression", "meta",
+       "an allow marker that suppresses no live finding is removed", nullptr},
+  };
+  return kRules;
+}
+
+std::vector<Finding> RunLint(const Project& project, const LintOptions& opts) {
+  const auto family_active = [&](const char* fam) {
+    if (opts.families.empty()) return true;
+    return std::find(opts.families.begin(), opts.families.end(),
+                     std::string(fam)) != opts.families.end();
+  };
+
+  std::set<std::string> active_rules;
+  std::vector<Finding> findings;
+  for (const RuleDef& r : AllRules()) {
+    if (!family_active(r.family)) continue;
+    active_rules.insert(r.name);
+    if (r.fn != nullptr) r.fn(project, &findings);
+  }
+
+  // Suppression pass. faults-allow-escape findings are never suppressable:
+  // the marker itself is the violation.
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    const ParsedFile* pf = nullptr;
+    for (const ParsedFile& cand : project.files) {
+      if (cand.src.rel == f.rel) {
+        pf = &cand;
+        break;
+      }
+    }
+    if (pf != nullptr && f.rule != "faults-allow-escape") {
+      const Allow* a = pf->src.FindAllow(f.line, f.rule);
+      if (a != nullptr) {
+        a->used = true;
+        continue;
+      }
+    }
+    kept.push_back(std::move(f));
+  }
+
+  // Marker hygiene passes.
+  for (const ParsedFile& pf : project.files) {
+    const bool no_allow_zone = InNoAllowZone(pf.src.rel);
+    for (const Allow& a : pf.src.allows) {
+      if (no_allow_zone && family_active("determinism")) {
+        kept.push_back({pf.src.rel, a.line, "faults-allow-escape",
+                        "lint escapes are banned in src/faults and src/fuzz: "
+                        "injected chaos and generated scenarios must replay "
+                        "bit-identically, randomness only via src/base/rng.h"});
+      }
+      if (!family_active("meta")) continue;
+      if (!a.legacy && a.reason.empty()) {
+        kept.push_back({pf.src.rel, a.line, "allow-needs-reason",
+                        "suppression of '" + a.rule +
+                            "' has no reason; write vslint: allow(" + a.rule +
+                            ", <why this use is correct>)"});
+      }
+      if (opts.stale_check && !a.used) {
+        const bool known = active_rules.count(a.rule) != 0;
+        const bool inactive_known =
+            !known && std::any_of(AllRules().begin(), AllRules().end(),
+                                  [&](const RuleDef& r) {
+                                    return a.rule == r.name;
+                                  });
+        if (inactive_known) continue;  // rule exists but was not run
+        kept.push_back({pf.src.rel, a.line, "stale-suppression",
+                        known ? "allow(" + a.rule +
+                                    ") suppresses no live finding; remove the "
+                                    "marker"
+                              : "allow(" + a.rule +
+                                    ") names no known rule; remove or fix the "
+                                    "marker"});
+      }
+    }
+  }
+
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.rel != b.rel) return a.rel < b.rel;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return kept;
+}
+
+// --- baseline -------------------------------------------------------------
+
+namespace {
+
+uint64_t Fnv64(const std::string& s, uint64_t h = 1469598103934665603ull) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string TrimmedStrippedLine(const Project& project, const std::string& rel,
+                                int line) {
+  for (const ParsedFile& pf : project.files) {
+    if (pf.src.rel != rel) continue;
+    const size_t idx = static_cast<size_t>(line - 1);
+    if (idx >= pf.src.stripped.size()) return "";
+    const std::string& s = pf.src.stripped[idx];
+    const size_t a = s.find_first_not_of(" \t");
+    if (a == std::string::npos) return "";
+    const size_t b = s.find_last_not_of(" \t");
+    return s.substr(a, b - a + 1);
+  }
+  return "";
+}
+
+std::string HexHash(uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+uint64_t FindingKeyHash(const Project& project, const Finding& f) {
+  uint64_t h = Fnv64(f.rule);
+  h = Fnv64(std::string(1, '\0') + f.rel, h);
+  h = Fnv64(std::string(1, '\0') + TrimmedStrippedLine(project, f.rel, f.line),
+            h);
+  return h;
+}
+
+size_t ApplyBaseline(const Project& project, const std::string& baseline_text,
+                     std::vector<Finding>* findings) {
+  // rule\trel\thash, count-based multiset.
+  std::map<std::string, int> entries;
+  std::istringstream in(baseline_text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    entries[line] += 1;
+  }
+  for (Finding& f : *findings) {
+    const std::string key =
+        f.rule + "\t" + f.rel + "\t" + HexHash(FindingKeyHash(project, f));
+    auto it = entries.find(key);
+    if (it != entries.end() && it->second > 0) {
+      f.baselined = true;
+      it->second -= 1;
+    }
+  }
+  size_t unmatched = 0;
+  for (const auto& [key, n] : entries) unmatched += static_cast<size_t>(n);
+  return unmatched;
+}
+
+std::string SerializeBaseline(const Project& project,
+                              const std::vector<Finding>& findings) {
+  std::string out =
+      "# vslint baseline: legacy findings tolerated while being burned down.\n"
+      "# One `rule<TAB>rel<TAB>line-hash` entry per finding; regenerate with\n"
+      "# vslint <root> --write-baseline <file>. Keep this file empty.\n";
+  for (const Finding& f : findings) {
+    out += f.rule + "\t" + f.rel + "\t" +
+           HexHash(FindingKeyHash(project, f)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace vslint

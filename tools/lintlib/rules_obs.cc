@@ -1,0 +1,172 @@
+// observability hygiene rules: the repo's contract is that metric names and
+// trace event names are *documented interface*, not ad-hoc strings — harness
+// scripts and the trace tooling key on them (docs/OBSERVABILITY.md).
+//
+//   metric-docs    — every metric-name string literal passed to Counter() /
+//                    RegisterGauge() in src/ must appear in the docs.
+//   trace-docs     — every event-name literal given to a VSCALE_TRACE_* macro
+//                    in src/ must appear in the docs.
+//   trace-pairing  — kBegin/kEnd slice names must balance per file: the
+//                    exporter closes dangling slices silently, so an
+//                    unbalanced pair renders as a plausible-but-wrong
+//                    timeline instead of an error.
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "tools/lintlib/rules.h"
+
+namespace vslint {
+namespace rules {
+
+namespace {
+
+bool InSrc(const std::string& rel) { return rel.rfind("src/", 0) == 0; }
+
+// A literal that participates in a metric path: lowercase [a-z0-9_.], at
+// least 4 chars, with some structure ('.' or '_'). Short glue fragments
+// ("_ns") and plain words ("count") are ignored.
+bool LooksLikeMetricName(const std::string& s) {
+  if (s.size() < 4) return false;
+  bool structured = false;
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+    if (c == '_' || c == '.') structured = true;
+  }
+  return structured;
+}
+
+// Token index of the matching ')' for the '(' at `open`.
+size_t MatchParen(const std::vector<Token>& toks, size_t open) {
+  int depth = 1;
+  size_t j = open + 1;
+  while (j < toks.size() && depth > 0) {
+    if (toks[j].kind == Token::kPunct) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")") --depth;
+    }
+    ++j;
+  }
+  return j - 1;
+}
+
+}  // namespace
+
+void MetricDocs(const Project& project, std::vector<Finding>* out) {
+  for (const ParsedFile& pf : project.files) {
+    if (!InSrc(pf.src.rel)) continue;
+    const std::vector<Token>& toks = pf.src.tokens;
+    for (size_t t = 0; t + 1 < toks.size(); ++t) {
+      if (toks[t].kind != Token::kIdent ||
+          (toks[t].text != "Counter" && toks[t].text != "RegisterGauge")) {
+        continue;
+      }
+      if (toks[t + 1].kind != Token::kPunct || toks[t + 1].text != "(") {
+        continue;
+      }
+      const size_t close = MatchParen(toks, t + 1);
+      // First argument only: stop at a depth-1 comma (RegisterGauge's gauge
+      // callback may itself contain name-like literals).
+      int depth = 1;
+      for (size_t j = t + 2; j < close; ++j) {
+        if (toks[j].kind == Token::kPunct) {
+          if (toks[j].text == "(") ++depth;
+          if (toks[j].text == ")") --depth;
+          if (toks[j].text == "," && depth == 1) break;
+          continue;
+        }
+        if (toks[j].kind != Token::kString) continue;
+        const std::string& name = toks[j].text;
+        if (!LooksLikeMetricName(name)) continue;
+        if (project.docs_text.find(name) != std::string::npos) continue;
+        out->push_back({pf.src.rel, toks[j].line, "metric-docs",
+                        "metric name '" + name +
+                            "' is registered here but appears nowhere in the "
+                            "docs; document it (docs/OBSERVABILITY.md keeps "
+                            "the metric catalogue)"});
+      }
+      t = close;
+    }
+  }
+}
+
+void TraceDocs(const Project& project, std::vector<Finding>* out) {
+  static const char* kMacros[] = {"VSCALE_TRACE_INSTANT",
+                                  "VSCALE_TRACE_INSTANT_ARG",
+                                  "VSCALE_TRACE_BEGIN", "VSCALE_TRACE_END",
+                                  "VSCALE_TRACE_COUNTER"};
+  for (const ParsedFile& pf : project.files) {
+    if (!InSrc(pf.src.rel)) continue;
+    const std::vector<Token>& toks = pf.src.tokens;
+    for (size_t t = 0; t + 1 < toks.size(); ++t) {
+      if (toks[t].kind != Token::kIdent) continue;
+      bool is_macro = false;
+      for (const char* m : kMacros) {
+        if (toks[t].text == m) {
+          is_macro = true;
+          break;
+        }
+      }
+      if (!is_macro || toks[t + 1].kind != Token::kPunct ||
+          toks[t + 1].text != "(") {
+        continue;
+      }
+      const size_t close = MatchParen(toks, t + 1);
+      for (size_t j = t + 2; j < close; ++j) {
+        if (toks[j].kind != Token::kString) continue;
+        const std::string& name = toks[j].text;
+        if (project.docs_text.find(name) == std::string::npos) {
+          out->push_back({pf.src.rel, toks[j].line, "trace-docs",
+                          "trace event name '" + name +
+                              "' is emitted here but appears nowhere in the "
+                              "docs; add it to the trace schema table in "
+                              "docs/OBSERVABILITY.md"});
+        }
+        break;  // only the first string literal is the event name
+      }
+      t = close;
+    }
+  }
+}
+
+void TracePairing(const Project& project, std::vector<Finding>* out) {
+  for (const ParsedFile& pf : project.files) {
+    if (!InSrc(pf.src.rel)) continue;
+    const std::vector<Token>& toks = pf.src.tokens;
+    // name -> {begin count, end count, first line seen}
+    std::map<std::string, std::array<int, 3>> names;
+    for (size_t t = 0; t + 1 < toks.size(); ++t) {
+      if (toks[t].kind != Token::kIdent) continue;
+      const bool is_begin = toks[t].text == "VSCALE_TRACE_BEGIN";
+      const bool is_end = toks[t].text == "VSCALE_TRACE_END";
+      if ((!is_begin && !is_end) || toks[t + 1].kind != Token::kPunct ||
+          toks[t + 1].text != "(") {
+        continue;
+      }
+      const size_t close = MatchParen(toks, t + 1);
+      for (size_t j = t + 2; j < close; ++j) {
+        if (toks[j].kind != Token::kString) continue;
+        auto& e = names[toks[j].text];
+        if (e[0] == 0 && e[1] == 0) e[2] = toks[j].line;
+        e[is_begin ? 0 : 1] += 1;
+        break;
+      }
+      t = close;
+    }
+    for (const auto& [name, counts] : names) {
+      if (counts[0] == counts[1]) continue;
+      out->push_back(
+          {pf.src.rel, counts[2], "trace-pairing",
+           "trace slice '" + name + "' opens " + std::to_string(counts[0]) +
+               " time(s) but closes " + std::to_string(counts[1]) +
+               " time(s) in this file; B/E slices must balance per file or "
+               "the exporter silently closes them at buffer end"});
+    }
+  }
+}
+
+}  // namespace rules
+}  // namespace vslint

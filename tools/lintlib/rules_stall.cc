@@ -1,0 +1,59 @@
+// stall-hook rule: the paper's time-accounting argument only holds if the
+// 8-bucket stall decomposition is exhaustive, and the decomposition is driven
+// by hooks at run-state transitions. So every function in the two files that
+// mutate run state — src/hypervisor/machine.cc (VcpuState) and
+// src/guest/kernel_sched.cc (ThreadState) — must carry a VSCALE_STALL_HOOK
+// attribution next to the mutation, or an explicit
+// `vslint: allow(stall-hook, reason)` saying where the attribution happens
+// instead (e.g. guest thread transitions are accounted at the hypervisor
+// dispatch/desched sites).
+//
+// A mutation site is `<expr>.state = ...` / `<expr>->state = ...`; the
+// adjacency requirement is "same function contains VSCALE_STALL_HOOK".
+
+#include "tools/lintlib/rules.h"
+
+namespace vslint {
+namespace rules {
+
+void StallHook(const Project& project, std::vector<Finding>* out) {
+  for (const ParsedFile& pf : project.files) {
+    const std::string& rel = pf.src.rel;
+    if (rel != "src/hypervisor/machine.cc" &&
+        rel != "src/guest/kernel_sched.cc") {
+      continue;
+    }
+    const std::vector<Token>& toks = pf.src.tokens;
+    for (const FunctionInfo& fn : pf.functions) {
+      bool has_hook = false;
+      for (size_t t = fn.body_begin; t < fn.body_end && t < toks.size(); ++t) {
+        if (toks[t].kind == Token::kIdent &&
+            toks[t].text == "VSCALE_STALL_HOOK") {
+          has_hook = true;
+          break;
+        }
+      }
+      if (has_hook) continue;
+      for (size_t t = fn.body_begin;
+           t + 1 < fn.body_end && t + 1 < toks.size(); ++t) {
+        if (toks[t].kind != Token::kIdent || toks[t].text != "state") continue;
+        if (t < 1 || toks[t - 1].kind != Token::kPunct ||
+            (toks[t - 1].text != "." && toks[t - 1].text != "->")) {
+          continue;
+        }
+        if (toks[t + 1].kind != Token::kPunct || toks[t + 1].text != "=") {
+          continue;
+        }
+        out->push_back(
+            {rel, toks[t].line, "stall-hook",
+             "run-state mutation in " + fn.name +
+                 "() without a VSCALE_STALL_HOOK attribution in the same "
+                 "function; the 8-bucket stall decomposition must stay "
+                 "exhaustive (docs/OBSERVABILITY.md)"});
+      }
+    }
+  }
+}
+
+}  // namespace rules
+}  // namespace vslint

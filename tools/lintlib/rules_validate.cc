@@ -1,0 +1,79 @@
+// validate-before-use rule: a struct that exposes `Validate()` declares that
+// its invariants are NOT guaranteed by construction — so any code that
+// commits to such a value (a constructor that stores it, a Run* entry point
+// that executes it) must call Validate() first. PRs 3–6 each shipped at
+// least one path where a config reached a Run loop unvalidated; this rule
+// closes the class of bug mechanically.
+//
+// Mechanics:
+//   1. collect every class/struct that declares a Validate() member;
+//   2. for every function that is a constructor (name == owning class) or a
+//      Run* entry point and takes a parameter of such a type, require a
+//      Validate() call in its ctor-init list or body.
+//
+// Helper predicates (IsLegal-style probes) and non-Run consumers are out of
+// scope on purpose: the contract is about the commit points.
+
+#include <set>
+
+#include "tools/lintlib/rules.h"
+
+namespace vslint {
+namespace rules {
+
+void ValidateBeforeUse(const Project& project, std::vector<Finding>* out) {
+  // Pass 1: types exposing Validate().
+  std::set<std::string> validated_types;
+  for (const ParsedFile& pf : project.files) {
+    const std::vector<Token>& toks = pf.src.tokens;
+    for (const ClassInfo& ci : pf.classes) {
+      for (size_t t = ci.body_begin;
+           t + 1 < ci.body_end && t + 1 < toks.size(); ++t) {
+        if (toks[t].kind == Token::kIdent && toks[t].text == "Validate" &&
+            toks[t + 1].kind == Token::kPunct && toks[t + 1].text == "(" &&
+            !ci.name.empty()) {
+          validated_types.insert(ci.name);
+          break;
+        }
+      }
+    }
+  }
+  if (validated_types.empty()) return;
+
+  // Pass 2: commit points taking such a type.
+  for (const ParsedFile& pf : project.files) {
+    const std::vector<Token>& toks = pf.src.tokens;
+    for (const FunctionInfo& fn : pf.functions) {
+      const bool is_ctor = !fn.cls.empty() && fn.name == fn.cls;
+      const bool is_run = fn.name.rfind("Run", 0) == 0;
+      if (!is_ctor && !is_run) continue;
+      std::string param_type;
+      for (size_t t = fn.params_begin; t < fn.params_end && t < toks.size();
+           ++t) {
+        if (toks[t].kind == Token::kIdent &&
+            validated_types.count(toks[t].text) != 0) {
+          param_type = toks[t].text;
+          break;
+        }
+      }
+      if (param_type.empty()) continue;
+      bool calls_validate = false;
+      for (size_t t = fn.after_params_begin;
+           t < fn.body_end && t < toks.size(); ++t) {
+        if (toks[t].kind == Token::kIdent && toks[t].text == "Validate") {
+          calls_validate = true;
+          break;
+        }
+      }
+      if (calls_validate) continue;
+      out->push_back(
+          {pf.src.rel, fn.line, "validate-before-use",
+           fn.name + "() takes a " + param_type +
+               " (which exposes Validate()) but never validates it; call "
+               "Validate() before committing to the config"});
+    }
+  }
+}
+
+}  // namespace rules
+}  // namespace vslint
