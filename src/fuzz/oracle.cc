@@ -11,6 +11,7 @@
 #include "src/base/metrics_registry.h"
 #include "src/metrics/state_digest.h"
 #include "src/obs/stall_accounting.h"
+#include "src/workloads/antagonist.h"
 #include "src/workloads/omp_app.h"
 #include "src/workloads/testbed.h"
 #include "src/workloads/web_server.h"
@@ -20,6 +21,7 @@ namespace vscale {
 namespace {
 
 bool g_fuzz_canary = false;
+bool g_fairness_canary = false;
 
 // Everything one run of a scenario yields; RunOracle combines two of these.
 struct RunOutcome {
@@ -31,6 +33,8 @@ struct RunOutcome {
   int64_t stall_failures = 0;
   int64_t watchdog_trips = 0;
   int64_t watchdog_recoveries = 0;
+  bool fairness_violated = false;
+  std::string fairness_detail;
   TimeNs end_time = 0;
 };
 
@@ -68,7 +72,26 @@ RunOutcome RunScenarioOnce(const Scenario& s, uint64_t testbed_seed) {
     TestbedConfig cfg = s.config;
     cfg.seed = testbed_seed;
     cfg.stall_accounting = true;  // arms the exhaustiveness oracle
+    // The fairness canary (test-only): run the attack without its mitigations
+    // while the oracle below still treats the scenario's hardening as armed,
+    // so the violation MUST surface if the fairness oracle works.
+    if (g_fairness_canary && !cfg.antagonists.empty()) {
+      cfg.hardening = HardeningConfig{};
+    }
     Testbed bed(cfg);
+
+    // Fairness oracle (docs/ADVERSARIAL.md): armed only when the scenario has
+    // antagonists AND hardening on — with mitigations off, the stock scheduler
+    // is known-vulnerable and an attacker over entitlement is the expected
+    // result, not a bug. Note s.config (what the scenario claims), not cfg
+    // (what actually ran): that gap is exactly what the canary exploits. The
+    // probe is pure observation, so arming it never perturbs the run.
+    std::unique_ptr<FairnessProbe> fairness;
+    if (!s.config.antagonists.empty() && s.config.hardening.AnyEnabled()) {
+      fairness = std::make_unique<FairnessProbe>(
+          bed.machine(), bed.antagonist_domain_ids(),
+          static_cast<int>(kFairnessEps * 100.0 + 0.5));
+    }
 
     // All workloads are created before the clock moves: OMP teams start at
     // t=0, web client windows are absolute virtual times from the scenario.
@@ -122,6 +145,33 @@ RunOutcome RunScenarioOnce(const Scenario& s, uint64_t testbed_seed) {
       out.watchdog_recoveries = bed.watchdog()->recoveries();
     }
 
+    // Theft beyond a sliver of pool capacity means a mitigation that claimed
+    // to neutralize this attacker did not. The windowed probe already ruled
+    // out work conservation (overage only counts when victims were
+    // concurrently waiting), so the floor only absorbs startup transients.
+    if (fairness != nullptr) {
+      const TimeNs theft = fairness->max_theft();
+      const TimeNs floor = fairness->sampled_capacity() / 200;
+      if (theft > floor && floor > 0) {
+        const FairnessReport shares = ComputeFairness(bed.machine());
+        std::string share_detail;
+        for (int i = 0; i < bed.n_antagonists(); ++i) {
+          FairnessViolated(shares,
+                           bed.antagonist_domain_ids()[static_cast<size_t>(i)],
+                           kFairnessEps, &share_detail);
+          if (fairness->theft(bed.antagonist_domain_ids()[static_cast<size_t>(
+                  i)]) == theft) {
+            break;
+          }
+        }
+        out.fairness_violated = true;
+        out.fairness_detail =
+            "windowed theft " + std::to_string(theft) + " ns > floor " +
+            std::to_string(floor) + " ns (0.5% of sampled capacity); " +
+            share_detail;
+      }
+    }
+
     StateDigest digest;
     for (const auto& app : apps) {
       digest.Absorb(static_cast<uint64_t>(app->done() ? 1 : 0));
@@ -145,6 +195,9 @@ RunOutcome RunScenarioOnce(const Scenario& s, uint64_t testbed_seed) {
     if (bed.faults() != nullptr) {
       digest.Absorb(bed.faults()->events_started());
       digest.Absorb(bed.faults()->events_ended());
+    }
+    for (int i = 0; i < bed.n_antagonists(); ++i) {
+      digest.Absorb(static_cast<uint64_t>(bed.antagonist(i).cycles()));
     }
     digest.Absorb(out.watchdog_trips);
     digest.Absorb(out.watchdog_recoveries);
@@ -182,6 +235,8 @@ const char* ToString(OracleVerdict v) {
       return "non-termination";
     case OracleVerdict::kWatchdogNoRecovery:
       return "watchdog-no-recovery";
+    case OracleVerdict::kFairnessViolation:
+      return "fairness-violation";
     case OracleVerdict::kDigestDivergence:
       return "digest-divergence";
   }
@@ -190,6 +245,9 @@ const char* ToString(OracleVerdict v) {
 
 void SetFuzzCanary(bool enabled) { g_fuzz_canary = enabled; }
 bool FuzzCanaryEnabled() { return g_fuzz_canary; }
+
+void SetFairnessCanary(bool enabled) { g_fairness_canary = enabled; }
+bool FairnessCanaryEnabled() { return g_fairness_canary; }
 
 OracleReport RunOracle(const Scenario& s) {
   s.Validate();
@@ -223,6 +281,11 @@ OracleReport RunOracle(const Scenario& s) {
     report.detail = "watchdog trips=" + std::to_string(run1.watchdog_trips) +
                     " recoveries=" +
                     std::to_string(run1.watchdog_recoveries) + " at end of run";
+    return report;
+  }
+  if (run1.fairness_violated) {
+    report.verdict = OracleVerdict::kFairnessViolation;
+    report.detail = run1.fairness_detail;
     return report;
   }
 

@@ -10,6 +10,12 @@
 //                         horizon (hang, livelock, or a collapsed scheduler)
 //   kWatchdogNoRecovery   the daemon-liveness watchdog tripped and the stack
 //                         never recovered by end of run
+//   kFairnessViolation    an antagonist domain ended the run measurably above
+//                         its weight-fair entitlement while victims starved,
+//                         with the scenario's hardening armed — a mitigation
+//                         that should have neutralized the attack did not
+//                         (docs/ADVERSARIAL.md; armed only when the scenario
+//                         has antagonists AND any HardeningConfig flag on)
 //   kDigestDivergence     two runs of the identical scenario produced
 //                         different StateDigests — the determinism contract
 //                         itself broke
@@ -35,6 +41,7 @@ enum class OracleVerdict {
   kStallNonExhaustive,
   kNonTermination,
   kWatchdogNoRecovery,
+  kFairnessViolation,
   kDigestDivergence,
 };
 
@@ -71,6 +78,20 @@ OracleReport RunOracle(const Scenario& s);
 // tests (fuzz_run --canary).
 void SetFuzzCanary(bool enabled);
 bool FuzzCanaryEnabled();
+
+// Second planted bug, for the fairness oracle: when enabled, RunScenarioOnce
+// strips every hardening flag from scenarios that carry antagonists while the
+// oracle still considers the hardening armed — so a known attack lands and
+// kFairnessViolation must fire. fuzz_run --fairness-canary uses it to prove
+// the fairness oracle is not blind; independent of the digest canary above so
+// the two end-to-end tests cannot mask each other.
+void SetFairnessCanary(bool enabled);
+bool FairnessCanaryEnabled();
+
+// The entitlement slack the fairness oracle tolerates before calling an
+// overage a violation (25%): generous enough for BOOST/settle timing noise on
+// short runs, far below what a working attack yields (2-4x entitlement).
+inline constexpr double kFairnessEps = 0.25;
 
 }  // namespace vscale
 

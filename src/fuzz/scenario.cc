@@ -66,6 +66,57 @@ bool SplitKv(const std::string& tok, std::string* key, std::string* value) {
   return true;
 }
 
+// One antagonist serialized with every field explicit, so the canonical form
+// never depends on which knobs happen to sit at their kind defaults:
+// "antagonist tick-evader vcpus=2 weight=0 period_ns=0 duty=0 daemon=0".
+std::string AntagonistLine(const AntagonistConfig& a) {
+  return std::string("antagonist ") + vscale::ToString(a.kind) +
+         " vcpus=" + I64(a.vcpus) + " weight=" + I64(a.weight) +
+         " period_ns=" + I64(a.period) + " duty=" + I64(a.duty_pct) +
+         " daemon=" + I64(a.run_daemon ? 1 : 0);
+}
+
+bool ParseAntagonistLine(const std::string& rest, AntagonistConfig* out,
+                         std::string* why) {
+  std::stringstream ss(rest);
+  std::string kind_tok;
+  if (!(ss >> kind_tok)) {
+    *why = "antagonist line needs a kind (tick-evader | boost-abuser | churn | "
+           "freeze-straggler)";
+    return false;
+  }
+  AntagonistConfig a;
+  if (!ParseAntagonistKind(kind_tok, &a.kind)) {
+    *why = "unknown antagonist kind \"" + kind_tok + "\"";
+    return false;
+  }
+  std::string tok;
+  while (ss >> tok) {
+    std::string key, value;
+    int64_t num = 0;
+    if (!SplitKv(tok, &key, &value) || !ParseI64(value, &num)) {
+      *why = "bad antagonist token \"" + tok + "\" (want key=integer)";
+      return false;
+    }
+    if (key == "vcpus") {
+      a.vcpus = static_cast<int>(num);
+    } else if (key == "weight") {
+      a.weight = static_cast<int>(num);
+    } else if (key == "period_ns") {
+      a.period = num;
+    } else if (key == "duty") {
+      a.duty_pct = static_cast<int>(num);
+    } else if (key == "daemon") {
+      a.run_daemon = num != 0;
+    } else {
+      *why = "unknown antagonist token \"" + tok + "\"";
+      return false;
+    }
+  }
+  *out = a;
+  return true;
+}
+
 bool ParseWorkloadLine(const std::string& rest, WorkloadSpec* out,
                        std::string* why) {
   std::stringstream ss(rest);
@@ -214,6 +265,28 @@ std::string Scenario::ToString() const {
   for (const WorkloadSpec& w : workloads) {
     out += WorkloadLine(w) + '\n';
   }
+  for (const AntagonistConfig& a : config.antagonists) {
+    out += AntagonistLine(a) + '\n';
+  }
+  // Hardening keys appear only when a flag leaves its OFF default, so every
+  // pre-antagonist corpus file stays byte-for-byte canonical (the omitted key
+  // parses back to the same default — ToString() output is still a fixpoint).
+  if (config.hardening.acct_time_based) {
+    out += "hardening.acct_time_based 1\n";
+  }
+  if (config.hardening.boost_budget > 0) {
+    out += "hardening.boost_budget " + I64(config.hardening.boost_budget) + '\n';
+  }
+  if (config.hardening.waited_cap_ratio > 0.0) {
+    // Serialized as integer percent (ratio 2.0 -> 200): the grammar is
+    // integer-only and parse quantizes to the same grid, keeping the fixpoint.
+    out += "hardening.waited_cap_pct " +
+           I64(static_cast<int64_t>(config.hardening.waited_cap_ratio * 100.0 + 0.5)) +
+           '\n';
+  }
+  if (config.hardening.plausibility_clamp) {
+    out += "hardening.plausibility_clamp 1\n";
+  }
   out += "fault_seed " + std::to_string(config.faults.seed) + '\n';
   if (!config.faults.empty()) {
     out += "faults " + config.faults.ToString() + '\n';
@@ -272,6 +345,11 @@ bool ParseScenario(const std::string& text, Scenario* out, std::string* error) {
       std::string why;
       if (!ParseWorkloadLine(value, &w, &why)) return fail(why);
       s.workloads.push_back(std::move(w));
+    } else if (key == "antagonist") {
+      AntagonistConfig a;
+      std::string why;
+      if (!ParseAntagonistLine(value, &a, &why)) return fail(why);
+      s.config.antagonists.push_back(a);
     } else if (key == "faults") {
       std::string why;
       if (!FaultPlan::Parse(value, &s.config.faults, &why)) {
@@ -311,6 +389,14 @@ bool ParseScenario(const std::string& text, Scenario* out, std::string* error) {
       s.config.watchdog.missed_cycles = static_cast<int>(num);
     } else if (key == "watchdog.safe_vcpu_floor") {
       s.config.watchdog.safe_vcpu_floor = static_cast<int>(num);
+    } else if (key == "hardening.acct_time_based") {
+      s.config.hardening.acct_time_based = num != 0;
+    } else if (key == "hardening.boost_budget") {
+      s.config.hardening.boost_budget = static_cast<int>(num);
+    } else if (key == "hardening.waited_cap_pct") {
+      s.config.hardening.waited_cap_ratio = static_cast<double>(num) / 100.0;
+    } else if (key == "hardening.plausibility_clamp") {
+      s.config.hardening.plausibility_clamp = num != 0;
     } else {
       return fail("unknown key \"" + key + "\"");
     }

@@ -65,9 +65,10 @@ struct Scenario {
   // by this virtual time or the run counts as non-terminating.
   TimeNs horizon = Seconds(20);
 
-  // Domains the testbed will instantiate (primary + desktops).
+  // Domains the testbed will instantiate (primary + desktops + antagonists).
   int Domains() const {
-    return 1 + (config.background_vms > 0 ? config.background_vms : 0);
+    return 1 + (config.background_vms > 0 ? config.background_vms : 0) +
+           static_cast<int>(config.antagonists.size());
   }
 
   // VS_REQUIRE-rejects scenarios no oracle verdict could be trusted on:

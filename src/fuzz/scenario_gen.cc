@@ -56,6 +56,24 @@ WorkloadSpec DrawWorkload(Rng& rng, int primary_vcpus) {
   return w;
 }
 
+// Antagonist draw (docs/ADVERSARIAL.md). Kind defaults (period/duty = 0) keep
+// generated scenarios on the attack cadences the bench validates; the freeze
+// straggler only bites under a vScale policy with its own daemon, so it is
+// remapped to a scheduler attack elsewhere.
+AntagonistConfig DrawAntagonist(Rng& rng, Policy policy) {
+  AntagonistConfig a;
+  a.kind = static_cast<AntagonistKind>(rng.NextBelow(kNumAntagonistKinds));
+  if (a.kind == AntagonistKind::kFreezeStraggler && !PolicyUsesVscale(policy)) {
+    a.kind = AntagonistKind::kBoostAbuser;
+  }
+  a.vcpus = static_cast<int>(rng.UniformInt(1, 2));
+  a.weight = 0;    // testbed default: same per-vCPU weight as everyone else
+  a.period = 0;    // kind-default cadence
+  a.duty_pct = 0;  // kind-default duty
+  a.run_daemon = a.kind == AntagonistKind::kFreezeStraggler;
+  return a;
+}
+
 FaultEvent DrawFault(Rng& rng, int pool_pcpus) {
   FaultEvent ev;
   ev.kind = static_cast<FaultKind>(rng.NextBelow(kNumFaultKinds));
@@ -89,6 +107,7 @@ Scenario GenerateScenario(uint64_t seed) {
   Rng knobs = root.Fork(0x6b);
   Rng work = root.Fork(0x3c);
   Rng fault_rng = root.Fork(0xfa);
+  Rng adv = root.Fork(0xad);  // antagonist/hardening draws, own stream
 
   Scenario s;
   s.seed = seed;
@@ -123,6 +142,23 @@ Scenario GenerateScenario(uint64_t seed) {
     s.workloads.push_back(DrawWorkload(work, s.config.primary_vcpus));
   }
 
+  // ~30% of scenarios carry one antagonist VM; half of those run hardened.
+  // Unhardened cells keep the fairness oracle disarmed (the stock scheduler
+  // losing to a working attack is the documented baseline, not a bug) but
+  // still feed every other oracle — an antagonist must never hang, trip an
+  // invariant, or break determinism whatever the flags say. Hardened cells
+  // arm kFairnessViolation: the mitigations must actually hold the attacker
+  // to its weight-fair entitlement across the whole random config space.
+  if (adv.Chance(0.3)) {
+    s.config.antagonists.push_back(DrawAntagonist(adv, s.config.policy));
+    if (adv.Chance(0.5)) {
+      s.config.hardening.acct_time_based = true;
+      s.config.hardening.boost_budget = static_cast<int>(adv.UniformInt(1, 3));
+      s.config.hardening.waited_cap_ratio = 2.0;
+      s.config.hardening.plausibility_clamp = true;
+    }
+  }
+
   const int n_faults = [&] {
     const uint64_t r = fault_rng.NextBelow(100);
     if (r < 25) return 0;
@@ -151,12 +187,22 @@ Scenario GenerateScenario(uint64_t seed) {
       web_end = std::max(web_end, w.start + w.duration);
     }
   }
-  const int total_vcpus =
-      s.config.primary_vcpus + 2 * std::max(0, s.config.background_vms);
+  int antagonist_vcpus = 0;
+  for (const AntagonistConfig& a : s.config.antagonists) {
+    antagonist_vcpus += a.vcpus;
+  }
+  const int total_vcpus = s.config.primary_vcpus +
+                          2 * std::max(0, s.config.background_vms) +
+                          antagonist_vcpus;
   const int64_t contention =
       (total_vcpus + s.config.pool_pcpus - 1) / s.config.pool_pcpus;
+  // A working attack squeezes the primary harder than weight-fair contention
+  // predicts; double the compute slack so the liveness oracle blames real
+  // hangs, not a slow-but-progressing victim.
+  const int64_t attack_slack = s.config.antagonists.empty() ? 1 : 2;
   s.horizon = std::max<TimeNs>(
-      {Seconds(10), omp_work * contention * 12, web_end + Seconds(2)});
+      {Seconds(10), omp_work * contention * 12 * attack_slack,
+       web_end + Seconds(2)});
 
   s.Validate();
   return s;

@@ -66,6 +66,19 @@ Scenario ShrinkScenario(const Scenario& failing, OracleVerdict verdict,
       }
     }
 
+    // Drop antagonists, last first. Zero is legal; a fairness-violation
+    // verdict keeps its load-bearing attacker automatically (dropping it
+    // disarms the fairness oracle, the verdict changes, the move is rejected).
+    for (size_t i = cur.config.antagonists.size(); i-- > 0;) {
+      Scenario cand = cur;
+      cand.config.antagonists.erase(cand.config.antagonists.begin() +
+                                    static_cast<long>(i));
+      if (sh.Accept(cand)) {
+        cur = std::move(cand);
+        progress = true;
+      }
+    }
+
     // Drop workloads, keeping at least one (an empty mix is illegal and the
     // liveness oracle would be vacuous).
     for (size_t i = cur.workloads.size(); i-- > 0;) {

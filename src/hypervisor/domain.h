@@ -48,6 +48,10 @@ class Vcpu {
 
   Simulator::EventId advance_event = Simulator::kInvalidEvent;
 
+  // BOOST grants consumed this accounting period (reset by Accounting); only
+  // consulted when MachineConfig::boost_budget > 0.
+  int boost_used = 0;
+
   // --- cold: lifetime statistics, read only when reporting ---
   TimeNs total_runtime = 0;
   TimeNs total_wait = 0;         // time spent runnable-but-not-running (paper Fig. 9)
@@ -108,6 +112,10 @@ class Domain {
   TimeNs waited_in_window = 0;
   // Consumption within the current *accounting* window, for cap enforcement.
   TimeNs consumed_in_acct_window = 0;
+  // Runnable-wait accrued within the current accounting window. Input to the
+  // time-based activity classification (MachineConfig::acct_time_based);
+  // maintained unconditionally, read only when that flag is on.
+  TimeNs waited_in_acct_window = 0;
   bool capped_out = false;  // exceeded cap this accounting window; vCPUs parked
 
   TimeNs TotalRuntime() const;

@@ -184,6 +184,45 @@ void Machine::ScheduleDecision(Pcpu& p) {
   if (p.current != nullptr || p.stolen) {
     return;
   }
+  // Under time-based accounting (docs/ADVERSARIAL.md): local-first dispatch
+  // lets a credit-exhausted vCPU win a vacated pCPU while UNDER work sits
+  // parked on a busy neighbour — the parking half of the tick-evader and
+  // boost-abuser takes. If the best local candidate is OVER, prefer the best
+  // better-priority parked vCPU anywhere (global priority order at dispatch).
+  if (config_.acct_time_based && config_.work_stealing) {
+    Vcpu* local = nullptr;
+    for (Vcpu* v : p.runq) {
+      if (Schedulable(*v)) {
+        local = v;
+        break;
+      }
+    }
+    if (local == nullptr || local->priority == CreditPriority::kOver) {
+      Vcpu* remote = nullptr;
+      for (auto& q : pcpus_) {
+        if (q.id == p.id) {
+          continue;
+        }
+        for (Vcpu* w : q.runq) {
+          if (!Schedulable(*w)) {
+            continue;
+          }
+          if (w->priority < CreditPriority::kOver &&
+              (remote == nullptr || w->priority < remote->priority)) {
+            remote = w;
+          }
+          break;  // runq is priority-sorted; first schedulable is its best
+        }
+      }
+      if (remote != nullptr) {
+        RemoveFromRunq(*remote);
+        VSCALE_TRACE_INSTANT(sim_.Now(), TraceCategory::kHypervisor, "steal",
+                             remote->domain()->id(), remote->id(), p.id);
+        RunOn(p, *remote);
+        return;
+      }
+    }
+  }
   Vcpu* next = PickFromRunq(p);
   if (next == nullptr && config_.work_stealing) {
     next = StealWork(p);
@@ -216,6 +255,7 @@ void Machine::RunOn(Pcpu& p, Vcpu& v) {
   // Window demand accounting: only the part of the wait inside the current window
   // (the pro-rated remainder was already reported by WindowWaited).
   v.domain()->waited_in_window += now - std::max(v.wait_since, window_start_);
+  v.domain()->waited_in_acct_window += now - std::max(v.wait_since, acct_window_start_);
   v.run_since = now;
   v.last_settle = now;
   v.slice_end = now + config_.cost.hv_time_slice;
@@ -309,8 +349,12 @@ void Machine::DescheduleCurrent(Pcpu& p, VcpuState new_state, bool requeue_tail)
   p.current = nullptr;
   p.idle_since = now;
   v.domain()->guest()->OnDescheduled(v.id(), now);
-  // BOOST ends when the vCPU loses the pCPU.
-  if (v.priority == CreditPriority::kBoost) {
+  // BOOST ends when the vCPU loses the pCPU. Under time-based accounting
+  // (docs/ADVERSARIAL.md) every deschedule refreshes priority from the
+  // balance: stock credit1 only does this at tick/accounting edges, so a
+  // short-burst runner (boost-abuser) that never spans a tick keeps UNDER
+  // forever on a drained balance and queue-jumps every OVER victim.
+  if (v.priority == CreditPriority::kBoost || config_.acct_time_based) {
     v.priority = v.credit_ns > 0 ? CreditPriority::kUnder : CreditPriority::kOver;
   }
   v.state = new_state;
@@ -332,7 +376,15 @@ void Machine::WakeVcpu(Vcpu& v, bool boost_eligible) {
   v.polling = false;
   v.poll_port = -1;
   if (boost_eligible && v.priority == CreditPriority::kUnder) {
-    v.priority = CreditPriority::kBoost;
+    if (config_.boost_budget > 0 && v.boost_used >= config_.boost_budget) {
+      // Budget exhausted (anti boost-abuse): the wake still queues, at UNDER —
+      // it just cannot queue-jump until the next accounting period.
+      ++boost_denied_;
+    } else {
+      v.priority = CreditPriority::kBoost;
+      ++v.boost_used;
+      ++boost_grants_;
+    }
   }
   v.state = VcpuState::kRunnable;
   v.wait_since = now;
@@ -363,7 +415,16 @@ void Machine::MaybePreempt(Pcpu& p) {
   }
   const TimeNs now = sim_.Now();
   const TimeNs ran = now - p.current->run_since;
-  if (ran < config_.cost.hv_ratelimit) {
+  // Under time-based accounting (docs/ADVERSARIAL.md): no ratelimit shelter
+  // for a credit-exhausted vCPU against in-credit waiters. A boost-abuser's
+  // sub-ratelimit bursts are otherwise unpreemptable — it voluntarily blocks
+  // before the deferred check fires, so it microcycles at full cadence while
+  // UNDER victims stack up behind each burst.
+  const bool over_shelters =
+      !(config_.acct_time_based &&
+        p.current->priority == CreditPriority::kOver &&
+        best < CreditPriority::kOver);
+  if (ran < config_.cost.hv_ratelimit && over_shelters) {
     // Xen's sched_ratelimit: defer the preemption until the minimum run is served.
     if (p.ratelimit_check == Simulator::kInvalidEvent) {
       const TimeNs when = p.current->run_since + config_.cost.hv_ratelimit;
@@ -402,6 +463,38 @@ void Machine::HvTick() {
     SettleRunning(v);
     // Xen demotes BOOST at the first tick and refreshes priority from the balance.
     v.priority = v.credit_ns > 0 ? CreditPriority::kUnder : CreditPriority::kOver;
+    // Anti-squatting rebalance (docs/ADVERSARIAL.md): stock work stealing only
+    // runs when a pCPU vacates, so a credit-exhausted vCPU that never blocks
+    // keeps its pCPU while better-priority work sits parked on a busy
+    // neighbour's runq — the second half of the tick-evader's take. Under
+    // time-based accounting, migrate the best parked UNDER/BOOST vCPU onto
+    // this pCPU and requeue the OVER squatter at the tail of its band.
+    if (config_.acct_time_based && v.priority == CreditPriority::kOver) {
+      Vcpu* best = nullptr;
+      for (auto& q : pcpus_) {
+        if (q.id == p.id) {
+          continue;  // a better local vCPU is MaybePreempt's job below
+        }
+        for (Vcpu* w : q.runq) {
+          if (!Schedulable(*w)) {
+            continue;
+          }
+          if (w->priority < CreditPriority::kOver &&
+              (best == nullptr || w->priority < best->priority)) {
+            best = w;
+          }
+          break;  // runq is priority-sorted; first schedulable is its best
+        }
+      }
+      if (best != nullptr) {
+        // Pull the parked vCPU over; the MaybePreempt inside InsertRunnable
+        // then evicts the squatter under the normal ratelimit semantics.
+        RemoveFromRunq(*best);
+        best->pcpu = p.id;
+        InsertRunnable(*best, /*at_head_of_prio=*/true, /*tickle_idlers=*/false);
+        continue;
+      }
+    }
     // Cap enforcement at tick granularity.
     Domain& d = *v.domain();
     if (d.cap_pcpus() > 0.0) {
@@ -433,6 +526,29 @@ void Machine::Accounting() {
   auto is_active = [&](const Domain& d) {
     if (d.consumed_in_acct_window > 0) {
       return true;
+    }
+    if (config_.acct_time_based) {
+      // Hardened classification: only *accrued* time counts — CPU consumed, or
+      // runnable-wait gathered over the window. A vCPU that flipped runnable an
+      // instant before this pass contributes nothing, so a VM cannot buy active
+      // status (a weight share) with a well-timed wakeup. Running vCPUs are
+      // consuming by definition; starved-but-never-dispatched ones are covered
+      // by their accrued in-progress wait.
+      if (d.waited_in_acct_window > 0) {
+        return true;
+      }
+      const TimeNs now = sim_.Now();
+      for (int i = 0; i < d.n_vcpus(); ++i) {
+        const Vcpu& v = d.vcpu(i);
+        if (v.state == VcpuState::kRunning) {
+          return true;
+        }
+        if (v.state == VcpuState::kRunnable &&
+            now - std::max(v.wait_since, acct_window_start_) > 0) {
+          return true;
+        }
+      }
+      return false;
     }
     for (int i = 0; i < d.n_vcpus(); ++i) {
       const VcpuState s = d.vcpu(i).state;
@@ -479,6 +595,22 @@ void Machine::Accounting() {
         }
         v.credit_ns = std::clamp<TimeNs>(v.credit_ns + share, -period, period);
       }
+    } else if (config_.acct_time_based) {
+      // Hardened idle top-up: the balance ramps back at the weight-fair rate a
+      // competing active domain would earn, instead of snapping to +period.
+      // Binge/sleep cycling (the tick-evader) then recovers per sleep window
+      // only what an honest always-on VM earns per window — no minting.
+      const int64_t ew = effective_weight(*d);
+      const TimeNs dom_credit = static_cast<TimeNs>(
+          static_cast<double>(capacity) * static_cast<double>(ew) /
+          static_cast<double>(total_weight + ew));
+      const TimeNs share = dom_credit / n_active;
+      for (int i = 0; i < d->n_vcpus(); ++i) {
+        Vcpu& v = d->vcpu(i);
+        if (!v.frozen && v.credit_ns < period) {
+          v.credit_ns = std::min(period, v.credit_ns + share);
+        }
+      }
     } else {
       // Idle domains keep a warm positive balance so their wakeups are UNDER/BOOST.
       for (int i = 0; i < d->n_vcpus(); ++i) {
@@ -490,7 +622,12 @@ void Machine::Accounting() {
     }
     d->capped_out = false;
     d->consumed_in_acct_window = 0;
+    d->waited_in_acct_window = 0;
+    for (int i = 0; i < d->n_vcpus(); ++i) {
+      d->vcpu(i).boost_used = 0;
+    }
   }
+  acct_window_start_ = sim_.Now();
   VS_INVARIANT(granted_total <= capacity + static_cast<TimeNs>(domains_.size()),
                "accounting granted %lld ns of credit but pool capacity is only "
                "%lld ns per period",

@@ -49,6 +49,19 @@ struct MachineConfig {
   // its active vCPU count, which penalizes freezing (the unfairness vScale's patch
   // fixes, paper section 4.2). When true (vScale), weight is per-domain.
   bool per_domain_weight = true;
+
+  // --- adversarial hardening (docs/ADVERSARIAL.md); both default OFF so stock
+  // behaviour — and every digest-gated scenario — stays bit-identical ---
+  // Classify accounting activity from consumed-time samples only: a domain is
+  // active iff it accrued CPU or runnable-wait time this accounting window (no
+  // instantaneous runnable-state scan), and an idle domain's credit refills at
+  // its weight-fair rate instead of snapping to +period. Closes the
+  // tick-evader's free top-up.
+  bool acct_time_based = false;
+  // Max BOOST grants per vCPU per accounting period; 0 = unlimited (stock).
+  // Over-budget wakeups still queue, at UNDER instead of BOOST — starving the
+  // boost-abuser's preemption storm.
+  int boost_budget = 0;
 };
 
 class Machine : public HvServices {
@@ -112,6 +125,10 @@ class Machine : public HvServices {
   int64_t context_switches() const { return context_switches_; }
   // Fraction of pool capacity consumed so far (all domains).
   double PoolUtilization() const;
+  // BOOST wake telemetry (never digest-absorbed): grants counts every BOOST
+  // awarded by WakeVcpu; denials only occur with boost_budget > 0.
+  int64_t boost_grants() const { return boost_grants_; }
+  int64_t boost_denied() const { return boost_denied_; }
 
   // Invoked after every scheduling decision; for tracing (Fig. 8) and tests.
   std::function<void(PcpuId, Vcpu*)> on_schedule_hook;
@@ -198,7 +215,10 @@ class Machine : public HvServices {
   std::unique_ptr<PeriodicTask> acct_task_;
   int64_t context_switches_ = 0;
   TimeNs window_start_ = 0;  // start of the current vScale consumption window
+  TimeNs acct_window_start_ = 0;  // start of the current accounting window
   TimeNs stolen_ns_ = 0;     // pCPU-time lost to completed steal bursts
+  int64_t boost_grants_ = 0;
+  int64_t boost_denied_ = 0;
 
   // Global vCPU index assignment for pending_ports_.
   int GlobalIndex(const Vcpu& v) const;

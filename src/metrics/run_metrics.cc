@@ -20,6 +20,12 @@ void RegisterMachineMetrics(MetricsRegistry& registry, Machine& machine,
                          [m] { return m->context_switches(); });
   registry.RegisterGauge(prefix + "hv.idle_ns_total",
                          [m] { return m->TotalIdleTime(); });
+  // BOOST wake telemetry: the grant/denial split shows whether the boost
+  // budget (MachineConfig::boost_budget, docs/ADVERSARIAL.md) is biting.
+  registry.RegisterGauge(prefix + "sched.boost_grants",
+                         [m] { return m->boost_grants(); });
+  registry.RegisterGauge(prefix + "sched.boost_denied",
+                         [m] { return m->boost_denied(); });
   for (const auto& dptr : machine.domains()) {
     Domain* d = dptr.get();
     const std::string base = prefix + "dom." + SanitizeMetricName(d->name()) + ".";

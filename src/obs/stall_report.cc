@@ -269,4 +269,97 @@ void PrintBlameReport(const StallSeries& series, int top_n, std::ostream& os) {
   }
 }
 
+std::vector<DomainFairnessRow> BuildFairnessRows(
+    const std::vector<DomainBlame>& domains,
+    const std::vector<std::pair<int, int64_t>>& weights) {
+  auto weight_of = [&](int domain) -> int64_t {
+    for (const auto& w : weights) {
+      if (w.first == domain) return w.second;
+    }
+    return 1;
+  };
+  // Per run: total obtained CPU and total weight, then one row per domain.
+  std::vector<DomainFairnessRow> rows;
+  std::map<std::string, int64_t> run_running;
+  std::map<std::string, int64_t> run_weight;
+  for (const DomainBlame& d : domains) {
+    run_running[d.run] += d.ns[static_cast<int>(StallBucket::kRunning)];
+    run_weight[d.run] += weight_of(d.domain);
+  }
+  for (const DomainBlame& d : domains) {
+    DomainFairnessRow r;
+    r.run = d.run;
+    r.domain = d.domain;
+    r.weight = weight_of(d.domain);
+    r.running_ns = d.ns[static_cast<int>(StallBucket::kRunning)];
+    r.waited_ns = d.ns[static_cast<int>(StallBucket::kRunnableWaitingPcpu)];
+    const int64_t all_running = run_running[d.run];
+    const int64_t all_weight = run_weight[d.run];
+    if (all_running > 0) {
+      r.share = static_cast<double>(r.running_ns) /  // vslint: allow(float-accum, diagnostic ratio of finalized totals, never fed back into TimeNs state)
+                static_cast<double>(all_running);
+    }
+    if (all_weight > 0) {
+      r.entitled = static_cast<double>(r.weight) /
+                   static_cast<double>(all_weight);
+    }
+    if (r.entitled > 0.0) {
+      r.share_of_fair = r.share / r.entitled;
+    }
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+int PrintFairnessReport(const StallSeries& series,
+                        const std::vector<std::pair<int, int64_t>>& weights,
+                        double eps, std::ostream& os) {
+  const std::vector<DomainBlame> domains =
+      BuildDomainBlame(BuildVcpuBlame(series));
+  const std::vector<DomainFairnessRow> rows =
+      BuildFairnessRows(domains, weights);
+  if (rows.empty()) {
+    os << "no per-vCPU stall totals in input\n";
+    return 0;
+  }
+
+  int flagged = 0;
+  for (const std::string& run : series.runs) {
+    os << "== run: " << run << " — CPU share vs weight entitlement (eps "
+       << TextTable::Num(eps, 2) << ") ==\n";
+    TextTable table({"domain", "weight", "cpu_s", "wait_s", "share",
+                     "entitled", "share/fair", "verdict"});
+    for (const DomainFairnessRow& r : rows) {
+      if (r.run != run) continue;
+      // Post-hoc FairnessViolated: over-entitlement is theft only if the
+      // other domains had unmet demand that could have absorbed the overage.
+      int64_t others_waited = 0;
+      int64_t all_running = 0;
+      for (const DomainFairnessRow& o : rows) {
+        if (o.run != run) continue;
+        all_running += o.running_ns;
+        if (o.domain != r.domain) others_waited += o.waited_ns;
+      }
+      const int64_t fair_ns = static_cast<int64_t>(
+          r.entitled * static_cast<double>(all_running));
+      const int64_t overage = r.running_ns -
+                              static_cast<int64_t>((1.0 + eps) *
+                                                   static_cast<double>(fair_ns));  // vslint: allow(float-accum, one epsilon scaling of a finalized total, not accumulation)
+      const bool over = overage > 0 && others_waited >= overage;
+      if (over) ++flagged;
+      table.AddRow({TextTable::Int(r.domain), TextTable::Int(r.weight),
+                    TextTable::Num(ToSeconds(r.running_ns), 3),
+                    TextTable::Num(ToSeconds(r.waited_ns), 3),
+                    TextTable::Num(100.0 * r.share, 1) + "%",
+                    TextTable::Num(100.0 * r.entitled, 1) + "%",
+                    TextTable::Num(r.share_of_fair, 3),
+                    over ? "OVER" : "fair"});
+    }
+    os << table.Render() << "\n";
+  }
+  os << (flagged > 0 ? "fairness: VIOLATION" : "fairness: OK") << " — "
+     << flagged << " domain(s) over entitlement with waiting victims\n";
+  return flagged;
+}
+
 }  // namespace vscale

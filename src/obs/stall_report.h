@@ -84,6 +84,36 @@ void PrintBlameReport(const StallSeries& series, int top_n, std::ostream& os);
 // output is deterministic and golden-testable. tools/stall_report --collapsed.
 void WriteCollapsedStacks(const StallSeries& series, std::ostream& os);
 
+// --- post-hoc fairness (docs/ADVERSARIAL.md) ---
+// The offline counterpart of the live FairnessProbe: did any domain's share
+// of the CPU actually obtained exceed its entitlement while others sat
+// runnable? The CSV carries no scheduler weights, so entitlement comes from
+// the caller (`weights`, domain -> weight; domains absent from the map — or
+// all of them, when it is empty — default to weight 1, i.e. equal split).
+
+struct DomainFairnessRow {
+  std::string run;
+  int domain = 0;
+  int64_t weight = 1;
+  int64_t running_ns = 0;  // CPU obtained
+  int64_t waited_ns = 0;   // runnable but not running (unmet demand)
+  double share = 0.0;          // running / all running in the run
+  double entitled = 0.0;       // weight / total weight of the run's domains
+  double share_of_fair = 0.0;  // share / entitled
+};
+
+std::vector<DomainFairnessRow> BuildFairnessRows(
+    const std::vector<DomainBlame>& domains,
+    const std::vector<std::pair<int, int64_t>>& weights);
+
+// One table per run plus a verdict line: a domain is flagged OVER when its
+// share_of_fair exceeds 1 + eps AND the other domains' unmet demand could
+// have absorbed the overage (the FairnessViolated predicate, post hoc).
+// Returns the number of flagged (run, domain) pairs.
+int PrintFairnessReport(const StallSeries& series,
+                        const std::vector<std::pair<int, int64_t>>& weights,
+                        double eps, std::ostream& os);
+
 }  // namespace vscale
 
 #endif  // VSCALE_SRC_OBS_STALL_REPORT_H_

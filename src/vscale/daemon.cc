@@ -1,6 +1,7 @@
 #include "src/vscale/daemon.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/base/check.h"
 #include "src/base/trace.h"
@@ -39,6 +40,9 @@ void DaemonConfig::Validate() const {
   VS_REQUIRE(resume_confirmations >= 1,
              "DaemonConfig.resume_confirmations must be >= 1 (got %d)",
              resume_confirmations);
+  VS_REQUIRE(clamp_confirmations >= 1,
+             "DaemonConfig.clamp_confirmations must be >= 1 (got %d)",
+             clamp_confirmations);
 }
 
 VscaleDaemon::VscaleDaemon(GuestKernel& kernel, HvServices& hv, DaemonConfig config)
@@ -140,6 +144,7 @@ void VscaleDaemon::ResetControlState() {
   healthy_streak_ = 0;
   last_seq_ = 0;
   stale_streak_ = 0;
+  implausible_streak_ = 0;
   degraded_ = false;
 }
 
@@ -255,7 +260,7 @@ Op VscaleDaemon::CycleStart(GuestKernel& kernel) {
   if (target <= 0) {
     target = kernel.online_cpus();  // ticker has not run yet
   }
-  if (config_.useful_obtainment_guard) {
+  if (config_.useful_obtainment_guard || config_.plausibility_clamp) {
     DemandSample s;
     s.time = kernel.NowNs();
     kernel.TotalThreadTimes(&s.cpu, &s.spin, &s.wait);
@@ -267,16 +272,47 @@ Op VscaleDaemon::CycleStart(GuestKernel& kernel) {
       const DemandSample& old = samples_[oldest];
       const TimeNs cpu_delta = s.cpu - old.cpu;
       const TimeNs spin_delta = s.spin - old.spin;
-      const double spin_frac =
-          cpu_delta > 0 ? static_cast<double>(spin_delta) /
-                              static_cast<double>(cpu_delta)
-                        : 0.0;
-      if (spin_frac < 0.65) {
-        // Mostly-useful cycles (or an idle VM, whose blocked vCPUs compete for
-        // nothing anyway): packing would trade real progress for nothing, since
-        // wakeup boosting already protects blocking workloads from scheduling
-        // delays. Only spin-wasting workloads shrink below their current size.
-        target = std::max(target, kernel.online_cpus());
+      const TimeNs wait_delta = s.wait - old.wait;
+      const TimeNs time_delta = s.time - old.time;
+      if (config_.useful_obtainment_guard) {
+        const double spin_frac =
+            cpu_delta > 0 ? static_cast<double>(spin_delta) /
+                                static_cast<double>(cpu_delta)
+                          : 0.0;
+        if (spin_frac < 0.65) {
+          // Mostly-useful cycles (or an idle VM, whose blocked vCPUs compete for
+          // nothing anyway): packing would trade real progress for nothing, since
+          // wakeup boosting already protects blocking workloads from scheduling
+          // delays. Only spin-wasting workloads shrink below their current size.
+          target = std::max(target, kernel.online_cpus());
+        }
+      }
+      if (config_.plausibility_clamp && time_delta > 0) {
+        if (target > kernel.online_cpus()) {
+          // Plausible parallelism = what the guest's own threads demonstrably
+          // demanded (CPU consumed plus queued-runnable time) per unit time,
+          // plus one vCPU of growth headroom. A channel promising more than
+          // that is reporting demand this guest never generated — the
+          // signature of an inflated extendability (docs/ADVERSARIAL.md).
+          const double demand_rate =
+              static_cast<double>(cpu_delta + wait_delta) /
+              static_cast<double>(time_delta);
+          const int plausible = static_cast<int>(std::ceil(demand_rate)) + 1;
+          if (target > plausible) {
+            ++implausible_streak_;
+            if (implausible_streak_ >= config_.clamp_confirmations) {
+              ++clamped_cycles_;
+              VSCALE_TRACE_INSTANT_ARG(kernel.NowNs(), TraceCategory::kVscale,
+                                       "clamp", kernel.domain().id(), 0, -1,
+                                       "plausible", plausible);
+              target = std::max(kernel.online_cpus(), plausible);
+            }
+          } else {
+            implausible_streak_ = 0;
+          }
+        } else {
+          implausible_streak_ = 0;
+        }
       }
     }
     samples_[sample_head_] = s;

@@ -64,6 +64,18 @@ struct DaemonConfig {
   // Degradation unfreezes up to this many vCPUs and holds; <= 0 = all vCPUs.
   int safe_vcpu_floor = 0;
 
+  // --- adversarial hardening (docs/ADVERSARIAL.md); default OFF ---
+  // Cross-check a grow suggestion against the guest's own observed demand rate
+  // (CPU consumed + runnable-wait per unit time, from the DemandSample window)
+  // before acting on it. A channel that promises more vCPUs than the guest's
+  // demand could plausibly use — the signature of an inflated extendability —
+  // is clamped to the plausible count instead of trusted. Shrinks are never
+  // clamped: lying *low* only hurts the liar.
+  bool plausibility_clamp = false;
+  // Hysteresis: consecutive implausible grow cycles required before the clamp
+  // engages, so a genuine demand spike racing the sample window is not capped.
+  int clamp_confirmations = 2;
+
   // Aborts (or reaches the installed invariant handler) on nonsensical values —
   // non-positive periods, confirmation counts < 1, negative retry budgets. Called
   // by the daemon/watchdog constructors; callable directly by tests.
@@ -105,6 +117,8 @@ class VscaleDaemon : public ThreadBody {
   int64_t resumes() const { return resumes_; }
   int64_t crashes() const { return crashes_; }
   int64_t restarts() const { return restarts_; }
+  // Cycles whose grow target was capped by the plausibility clamp.
+  int64_t clamped_cycles() const { return clamped_cycles_; }
   TimeNs first_degrade_ns() const { return first_degrade_ns_; }
   TimeNs last_resume_ns() const { return last_resume_ns_; }
 
@@ -172,6 +186,8 @@ class VscaleDaemon : public ThreadBody {
   int stale_streak_ = 0;
   bool degraded_ = false;
   bool crashed_ = false;
+  int implausible_streak_ = 0;   // consecutive grow cycles that failed the check
+  int64_t clamped_cycles_ = 0;
   int64_t cycles_ = 0;
   int64_t read_retries_ = 0;
   int64_t apply_retries_ = 0;

@@ -50,8 +50,14 @@ std::vector<VmExtendability> ComputeExtendability(
                                   static_cast<double>(total_weight))
             : 0;
     out[i].fair_ns = fair;
+    TimeNs waited = vm.waited;
+    if (options.waited_cap_ratio > 0.0) {
+      waited = std::min(
+          waited, static_cast<TimeNs>(options.waited_cap_ratio *
+                                      static_cast<double>(vm.consumed)));
+    }
     const TimeNs demand =
-        options.demand_based ? vm.consumed + vm.waited : vm.consumed;
+        options.demand_based ? vm.consumed + waited : vm.consumed;
     const TimeNs release_threshold =
         static_cast<TimeNs>(static_cast<double>(fair) * options.releaser_margin);
     if (demand < release_threshold) {

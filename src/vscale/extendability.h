@@ -46,6 +46,14 @@ struct ExtendabilityOptions {
   // extendability is pinned at fair — even on an otherwise idle pool. A margin
   // slightly below 1 lets a saturated-but-packed VM see the slack and grow back.
   double releaser_margin = 1.0;
+  // Cap runnable-wait's contribution to demand at this multiple of consumed
+  // CPU; 0 = uncapped (stock). Mitigates wait-inflation attacks
+  // (docs/ADVERSARIAL.md): a churn VM waking thousands of times a second
+  // accrues ratelimit-scale waits against near-zero consumption, inflating its
+  // demand into competitor status and siphoning slack. Honest throttled VMs
+  // have consumption of the same order as their waits, so a small-integer
+  // ratio leaves them intact while discounting churners.
+  double waited_cap_ratio = 0.0;
 };
 
 // `period` is the recalculation period t; `pool_pcpus` is P. Returns one entry per VM,

@@ -39,6 +39,15 @@ bool PolicyUsesPvlock(Policy p) {
   return p == Policy::kBaselinePvlock || p == Policy::kVscalePvlock;
 }
 
+void HardeningConfig::Validate() const {
+  VS_REQUIRE(boost_budget >= 0,
+             "HardeningConfig.boost_budget must be >= 0 (0 = unlimited; got %d)",
+             boost_budget);
+  VS_REQUIRE(waited_cap_ratio >= 0.0,
+             "HardeningConfig.waited_cap_ratio must be >= 0 (0 = uncapped; got %f)",
+             waited_cap_ratio);
+}
+
 void TestbedConfig::Validate() const {
   VS_REQUIRE(primary_vcpus >= 1,
              "TestbedConfig.primary_vcpus must be >= 1 (got %d)", primary_vcpus);
@@ -70,6 +79,10 @@ void TestbedConfig::Validate() const {
   if (enable_watchdog) {
     watchdog.Validate();
   }
+  hardening.Validate();
+  for (const AntagonistConfig& a : antagonists) {
+    a.Validate();
+  }
 }
 
 Testbed::Testbed(TestbedConfig config) : config_(config) {
@@ -97,6 +110,8 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   mc.n_pcpus = config_.pool_pcpus;
   mc.seed = config_.seed;
   mc.per_domain_weight = true;  // the vScale Xen patch; also fair for the baseline
+  mc.acct_time_based = config_.hardening.acct_time_based;
+  mc.boost_budget = config_.hardening.boost_budget;
   machine_ = std::make_unique<Machine>(mc);
 
   GuestConfig gc;
@@ -125,6 +140,23 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     desktops_.push_back(std::move(desktop));
   }
 
+  // Antagonist VMs join after the desktops, so every existing scenario's
+  // domain numbering (and its digest) is untouched when the list is empty.
+  for (size_t i = 0; i < config_.antagonists.size(); ++i) {
+    const AntagonistConfig& ac = config_.antagonists[i];
+    const int weight =
+        ac.weight > 0 ? ac.weight : config_.weight_per_vcpu * ac.vcpus;
+    Domain& d = machine_->CreateDomain("antag" + std::to_string(i), weight,
+                                       ac.vcpus);
+    antagonist_domain_ids_.push_back(d.id());
+    antagonist_kernels_.push_back(
+        std::make_unique<GuestKernel>(*machine_, machine_->sim(), d, gc));
+    auto ant = std::make_unique<Antagonist>(*antagonist_kernels_.back(), ac,
+                                            seeder.NextU64());
+    ant->Start();
+    antagonists_.push_back(std::move(ant));
+  }
+
   if (!config_.faults.empty()) {
     FaultPlan plan = config_.faults;
     plan.seed = plan.seed != 0 ? plan.seed : config_.seed;
@@ -143,10 +175,19 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   }
 
   if (PolicyUsesVscale(config_.policy)) {
-    ticker_ = std::make_unique<ExtendabilityTicker>(*machine_);
+    // The ticker keeps its measured defaults; hardening only layers the
+    // wait-demand cap on top (0 leaves the computation bit-identical).
+    ExtendabilityOptions ticker_options{.rounding = VcpuRounding::kNearest,
+                                        .demand_based = true,
+                                        .releaser_margin = 0.85};
+    ticker_options.waited_cap_ratio = config_.hardening.waited_cap_ratio;
+    ticker_ = std::make_unique<ExtendabilityTicker>(*machine_, /*period=*/0,
+                                                    ticker_options);
     ticker_->Start();
-    daemon_ = std::make_unique<VscaleDaemon>(*primary_kernel_, *machine_,
-                                             config_.daemon);
+    DaemonConfig dc = config_.daemon;
+    dc.plausibility_clamp =
+        dc.plausibility_clamp || config_.hardening.plausibility_clamp;
+    daemon_ = std::make_unique<VscaleDaemon>(*primary_kernel_, *machine_, dc);
     daemon_->set_fault_injector(injector_.get());
     daemon_->Start();
     if (config_.enable_watchdog) {
@@ -159,11 +200,24 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     }
     if (config_.vscale_in_background) {
       for (auto& bk : background_kernels_) {
-        auto d = std::make_unique<VscaleDaemon>(*bk, *machine_, config_.daemon);
+        auto d = std::make_unique<VscaleDaemon>(*bk, *machine_, dc);
         d->set_fault_injector(injector_.get());
         d->Start();
         background_daemons_.push_back(std::move(d));
       }
+    }
+    // Antagonists that asked for a daemon get one: an inflated extendability
+    // only becomes CPU theft once a daemon grows the attacker, which is the
+    // end-to-end path the plausibility clamp is measured against.
+    for (size_t i = 0; i < antagonist_kernels_.size(); ++i) {
+      if (!config_.antagonists[i].run_daemon) {
+        continue;
+      }
+      auto d = std::make_unique<VscaleDaemon>(*antagonist_kernels_[i],
+                                              *machine_, dc);
+      d->set_fault_injector(injector_.get());
+      d->Start();
+      background_daemons_.push_back(std::move(d));
     }
   }
 
@@ -198,6 +252,8 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     reg.RegisterGauge(prefix + "vscale.resumes", [d] { return d->resumes(); });
     reg.RegisterGauge(prefix + "vscale.crashes", [d] { return d->crashes(); });
     reg.RegisterGauge(prefix + "vscale.restarts", [d] { return d->restarts(); });
+    reg.RegisterGauge(prefix + "vscale.clamped_cycles",
+                      [d] { return d->clamped_cycles(); });
     reg.RegisterGauge(prefix + "vscale.reads_failed",
                       [d] { return d->channel().reads_failed(); });
     reg.RegisterGauge(prefix + "vscale.torn_rejected",

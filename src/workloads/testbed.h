@@ -17,6 +17,7 @@
 #include "src/vscale/daemon.h"
 #include "src/vscale/ticker.h"
 #include "src/vscale/watchdog.h"
+#include "src/workloads/antagonist.h"
 #include "src/workloads/background.h"
 
 namespace vscale {
@@ -37,6 +38,43 @@ bool PolicyUsesPvlock(Policy p);
 // anything above it. Generous against the paper's 8-vCPU guests, tight enough
 // to catch a corrupted or fuzz-mutated config before it allocates the world.
 inline constexpr int kMaxVcpusPerDomain = 64;
+
+// The anti-gaming switches (docs/ADVERSARIAL.md), plumbed from one place to the
+// hypervisor, the extendability ticker and every vScale daemon the testbed
+// starts. Everything defaults OFF: a default-constructed config reproduces the
+// stock scheduler bit-for-bit, which is what keeps the digest corpus green.
+struct HardeningConfig {
+  // MachineConfig::acct_time_based — consumed-time activity classification and
+  // weight-fair idle credit ramp (vs. tick-evader).
+  bool acct_time_based = false;
+  // MachineConfig::boost_budget — BOOST grants per vCPU per accounting period,
+  // 0 = unlimited (vs. boost-abuser).
+  int boost_budget = 0;
+  // ExtendabilityOptions::waited_cap_ratio — cap runnable-wait demand at this
+  // multiple of consumed CPU, 0 = uncapped (vs. churn wait-inflation).
+  double waited_cap_ratio = 0.0;
+  // DaemonConfig::plausibility_clamp — cross-check grow targets against
+  // guest-observed demand (vs. inflated extendability reports).
+  bool plausibility_clamp = false;
+
+  bool AnyEnabled() const {
+    return acct_time_based || boost_budget > 0 || waited_cap_ratio > 0.0 ||
+           plausibility_clamp;
+  }
+
+  friend bool operator==(const HardeningConfig& a, const HardeningConfig& b) {
+    return a.acct_time_based == b.acct_time_based &&
+           a.boost_budget == b.boost_budget &&
+           a.waited_cap_ratio == b.waited_cap_ratio &&
+           a.plausibility_clamp == b.plausibility_clamp;
+  }
+  friend bool operator!=(const HardeningConfig& a, const HardeningConfig& b) {
+    return !(a == b);
+  }
+
+  // VS_REQUIRE-rejects negative budgets/ratios.
+  void Validate() const;
+};
 
 struct TestbedConfig {
   Policy policy = Policy::kBaseline;
@@ -69,6 +107,11 @@ struct TestbedConfig {
   // tracing it never mutates simulation state, so an enabled run digests
   // bit-identically to a disabled one (tools/digest_run --stall-check).
   bool stall_accounting = false;
+  // Antagonist VMs joining the pool beside the desktops, one domain each, in
+  // order (docs/ADVERSARIAL.md). Empty = the stock benign testbed.
+  std::vector<AntagonistConfig> antagonists;
+  // Scheduler/daemon anti-gaming mitigations; all default OFF.
+  HardeningConfig hardening;
 
   // Rejects nonsensical values through VS_REQUIRE (always on, every build
   // flavour — see src/base/check.h): non-positive or absurd vCPU counts,
@@ -101,6 +144,17 @@ class Testbed {
   // Runs until `stop` returns true or `deadline` passes; returns whether stop fired.
   bool RunUntil(const std::function<bool()>& stop, TimeNs deadline);
 
+  // --- antagonist access (empty unless config.antagonists is set) ---
+  int n_antagonists() const { return static_cast<int>(antagonists_.size()); }
+  Antagonist& antagonist(int i) { return *antagonists_[static_cast<size_t>(i)]; }
+  // The hypervisor domain backing antagonist i (primary and desktops precede it).
+  Domain& antagonist_domain(int i) {
+    return machine_->domain(antagonist_domain_ids_[static_cast<size_t>(i)]);
+  }
+  const std::vector<DomainId>& antagonist_domain_ids() const {
+    return antagonist_domain_ids_;
+  }
+
   bool stall_enabled() const { return stall_enabled_; }
   // Process-wide default for stall accounting, so harness flag parsing
   // (bench/bench_common.h) can enable it without threading a field through
@@ -121,6 +175,9 @@ class Testbed {
   std::vector<std::unique_ptr<GuestKernel>> background_kernels_;
   std::unique_ptr<LoadPhaseSchedule> phases_;
   std::vector<std::unique_ptr<SlideshowDesktop>> desktops_;
+  std::vector<std::unique_ptr<GuestKernel>> antagonist_kernels_;
+  std::vector<std::unique_ptr<Antagonist>> antagonists_;
+  std::vector<DomainId> antagonist_domain_ids_;
   std::unique_ptr<ExtendabilityTicker> ticker_;
   std::unique_ptr<VscaleDaemon> daemon_;
   std::vector<std::unique_ptr<VscaleDaemon>> background_daemons_;

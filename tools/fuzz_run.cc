@@ -178,6 +178,62 @@ int CanaryHunt(uint64_t seed0, int count, const std::string& out_dir) {
   return 1;
 }
 
+// End-to-end test of the fairness oracle (docs/ADVERSARIAL.md): each file must
+// be a hardened antagonist scenario that (a) passes with its mitigations live
+// and (b) fails with exactly fairness-violation when the canary strips them —
+// proving both directions: the mitigations neutralize the attack, and the
+// oracle sees the attack the moment they are gone.
+int FairnessCanary(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    Scenario s;
+    std::string error;
+    if (!LoadScenarioFile(path, &s, &error)) {
+      std::fprintf(stderr, "fuzz_run: %s\n", error.c_str());
+      return 2;
+    }
+    if (!ProbeLegal(s, &error)) {
+      std::fprintf(stderr, "fuzz_run: %s: illegal scenario: %s\n", path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    if (s.config.antagonists.empty() || !s.config.hardening.AnyEnabled()) {
+      std::fprintf(stderr,
+                   "fuzz_run: %s: fairness canary needs a hardened antagonist "
+                   "scenario (antagonists=%zu, hardening=%s)\n",
+                   path.c_str(), s.config.antagonists.size(),
+                   s.config.hardening.AnyEnabled() ? "on" : "off");
+      return 2;
+    }
+
+    SetFairnessCanary(false);
+    const OracleReport hardened = RunOracle(s);
+    if (hardened.failed()) {
+      std::fprintf(stderr,
+                   "fuzz_run: %s: hardened run should pass, got %s — %s\n",
+                   path.c_str(), ToString(hardened.verdict),
+                   hardened.detail.c_str());
+      return 1;
+    }
+
+    SetFairnessCanary(true);
+    const OracleReport stripped = RunOracle(s);
+    SetFairnessCanary(false);
+    if (stripped.verdict != OracleVerdict::kFairnessViolation) {
+      std::fprintf(stderr,
+                   "fuzz_run: %s: stripped run should trip fairness-violation, "
+                   "got %s%s%s\n",
+                   path.c_str(), ToString(stripped.verdict),
+                   stripped.failed() ? " — " : "",
+                   stripped.failed() ? stripped.detail.c_str() : "");
+      return 1;
+    }
+    std::printf(
+        "fuzz_run: %s: fairness canary OK — hardened pass, stripped %s (%s)\n",
+        path.c_str(), ToString(stripped.verdict), stripped.detail.c_str());
+  }
+  return 0;
+}
+
 int Replay(const std::vector<std::string>& paths) {
   for (const std::string& path : paths) {
     Scenario s;
@@ -206,7 +262,8 @@ int Usage() {
                "usage: fuzz_run --smoke [--seed S] [--count N] [--out DIR]\n"
                "       fuzz_run --canary [--seed S] [--count N] [--out DIR]\n"
                "       fuzz_run --gen <seed>\n"
-               "       fuzz_run --replay <file>...\n");
+               "       fuzz_run --replay <file>...\n"
+               "       fuzz_run --fairness-canary <file>...\n");
   return 2;
 }
 
@@ -216,7 +273,14 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   int count = 200;
   std::string out_dir = ".";
-  enum class Mode { kNone, kSmoke, kCanary, kGen, kReplay } mode = Mode::kNone;
+  enum class Mode {
+    kNone,
+    kSmoke,
+    kCanary,
+    kGen,
+    kReplay,
+    kFairnessCanary,
+  } mode = Mode::kNone;
   uint64_t gen_seed = 0;
   std::vector<std::string> replay_paths;
 
@@ -230,13 +294,16 @@ int main(int argc, char** argv) {
       gen_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--replay") == 0) {
       mode = Mode::kReplay;
+    } else if (std::strcmp(argv[i], "--fairness-canary") == 0) {
+      mode = Mode::kFairnessCanary;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
       count = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
-    } else if (mode == Mode::kReplay && argv[i][0] != '-') {
+    } else if ((mode == Mode::kReplay || mode == Mode::kFairnessCanary) &&
+               argv[i][0] != '-') {
       replay_paths.push_back(argv[i]);
     } else {
       return Usage();
@@ -258,6 +325,9 @@ int main(int argc, char** argv) {
     case Mode::kReplay:
       if (replay_paths.empty()) return Usage();
       return Replay(replay_paths);
+    case Mode::kFairnessCanary:
+      if (replay_paths.empty()) return Usage();
+      return FairnessCanary(replay_paths);
     case Mode::kNone:
       break;
   }

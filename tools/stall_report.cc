@@ -5,6 +5,11 @@
 //   stall_report <stall.csv> --collapsed   collapsed-stack lines
 //                                          (run;domN;vcpuN;bucket cum_ns) for
 //                                          flamegraph.pl / speedscope
+//   stall_report <stall.csv> --fairness [--weights 0=768,1=256] [--eps 0.25]
+//                                          per-domain CPU share vs weight
+//                                          entitlement (docs/ADVERSARIAL.md);
+//                                          exits 1 when a domain is OVER its
+//                                          entitlement with waiting victims
 //   stall_report --selftest                parser/report checks on synthetic data
 //
 // Produce the input with any stall-enabled harness, e.g.:
@@ -58,6 +63,43 @@ const char kSyntheticCsv[] =
     "vscale,1000000,0,1,frozen,850000\n"
     "vscale,1000000,0,1,stolen,0\n"
     "vscale,1000000,0,1,idle,0\n";
+
+// Fairness-mode synthetic series: dom1 hogs both pCPUs' worth of runtime
+// while dom0 sits runnable — the tick-evader's post-hoc signature.
+const char kFairnessCsv[] =
+    "run,ts_ns,domain,vcpu,bucket,cum_ns\n"
+    "attack,2000000,0,0,running,300000\n"
+    "attack,2000000,0,0,runnable_waiting_pcpu,1500000\n"
+    "attack,2000000,0,0,idle,200000\n"
+    "attack,2000000,0,1,running,300000\n"
+    "attack,2000000,0,1,runnable_waiting_pcpu,1500000\n"
+    "attack,2000000,0,1,idle,200000\n"
+    "attack,2000000,1,0,running,1400000\n"
+    "attack,2000000,1,0,runnable_waiting_pcpu,100000\n"
+    "attack,2000000,1,0,idle,500000\n"
+    "attack,2000000,1,1,running,1400000\n"
+    "attack,2000000,1,1,runnable_waiting_pcpu,100000\n"
+    "attack,2000000,1,1,idle,500000\n";
+
+// "dom_id=weight" pairs, comma-separated ("0=768,1=256"); false on bad syntax.
+bool ParseWeights(const std::string& spec,
+                  std::vector<std::pair<int, int64_t>>* out) {
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      return false;
+    }
+    try {
+      out->emplace_back(std::stoi(item.substr(0, eq)),
+                        std::stoll(item.substr(eq + 1)));
+    } catch (...) {
+      return false;
+    }
+  }
+  return !out->empty();
+}
 
 #define ST_CHECK(cond)                                                    \
   do {                                                                    \
@@ -126,6 +168,33 @@ int SelfTest() {
     return 1;
   }
 
+  // Fairness mode: equal weights flag the hog (share 82% vs 50% entitled,
+  // victims waiting), while weights that entitle it 3:1 legitimize the split.
+  {
+    std::stringstream fin(kFairnessCsv);
+    StallSeries fseries;
+    ST_CHECK(LoadStallCsv(fin, &fseries, &error));
+    std::stringstream unweighted;
+    ST_CHECK(PrintFairnessReport(fseries, {}, 0.25, unweighted) == 1);
+    ST_CHECK(unweighted.str().find("OVER") != std::string::npos);
+    ST_CHECK(unweighted.str().find("fairness: VIOLATION") != std::string::npos);
+    const auto rows =
+        BuildFairnessRows(BuildDomainBlame(BuildVcpuBlame(fseries)), {});
+    ST_CHECK(rows.size() == 2);
+    ST_CHECK(rows[1].share_of_fair > 1.25);
+    std::stringstream weighted;
+    ST_CHECK(PrintFairnessReport(fseries, {{0, 256}, {1, 768}}, 0.25,
+                                 weighted) == 0);
+    ST_CHECK(weighted.str().find("fairness: OK") != std::string::npos);
+
+    std::vector<std::pair<int, int64_t>> weights;
+    ST_CHECK(ParseWeights("0=768,1=256", &weights));
+    ST_CHECK(weights.size() == 2 && weights[1].second == 256);
+    weights.clear();
+    ST_CHECK(!ParseWeights("0:768", &weights));
+    ST_CHECK(!ParseWeights("", &weights));
+  }
+
   // Malformed inputs must be rejected, not misread.
   std::stringstream bad_header("nope\n");
   ST_CHECK(!LoadStallCsv(bad_header, &series, &error));
@@ -140,10 +209,18 @@ int SelfTest() {
   return 0;
 }
 
+const char kUsage[] =
+    "usage: stall_report <stall.csv> [--top N] [--collapsed]\n"
+    "       stall_report <stall.csv> --fairness [--weights 0=768,1=256] "
+    "[--eps 0.25]\n";
+
 int Run(int argc, char** argv) {
   std::string path;
   int top_n = 10;
   bool collapsed = false;
+  bool fairness = false;
+  double eps = 0.25;
+  std::vector<std::pair<int, int64_t>> weights;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--selftest") == 0) {
       return SelfTest();
@@ -153,17 +230,28 @@ int Run(int argc, char** argv) {
       ++i;
     } else if (std::strcmp(argv[i], "--collapsed") == 0) {
       collapsed = true;
+    } else if (std::strcmp(argv[i], "--fairness") == 0) {
+      fairness = true;
+    } else if (std::strcmp(argv[i], "--eps") == 0 && i + 1 < argc) {
+      eps = std::atof(argv[i + 1]);
+      ++i;
+    } else if (std::strcmp(argv[i], "--weights") == 0 && i + 1 < argc) {
+      if (!ParseWeights(argv[i + 1], &weights)) {
+        std::fprintf(stderr, "stall_report: bad --weights spec '%s' "
+                             "(want dom=weight[,dom=weight...])\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      ++i;
     } else if (path.empty()) {
       path = argv[i];
     } else {
-      std::fprintf(stderr,
-                   "usage: stall_report <stall.csv> [--top N] [--collapsed]\n");
+      std::fprintf(stderr, "%s", kUsage);
       return 2;
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr,
-                 "usage: stall_report <stall.csv> [--top N] [--collapsed]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   std::ifstream f(path);
@@ -176,6 +264,10 @@ int Run(int argc, char** argv) {
   if (!LoadStallCsv(f, &series, &error)) {
     std::fprintf(stderr, "stall_report: %s: %s\n", path.c_str(), error.c_str());
     return 1;
+  }
+  if (fairness) {
+    // CI-friendly: a flagged domain is a non-zero exit, like --check modes.
+    return PrintFairnessReport(series, weights, eps, std::cout) > 0 ? 1 : 0;
   }
   if (collapsed) {
     // Collapsed-stack lines for flamegraph.pl / speedscope; pipe to a file and
