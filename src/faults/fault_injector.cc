@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/trace.h"
+#include "src/obs/coverage.h"
 
 namespace vscale {
 
@@ -38,6 +39,7 @@ int64_t FaultInjector::Magnitude(FaultKind kind) const {
 void FaultInjector::Begin(const FaultEvent& ev) {
   ++active_[static_cast<int>(ev.kind)];
   ++events_started_;
+  VS_COVER(OnFaultBegin(static_cast<int>(ev.kind)));
   VSCALE_TRACE_INSTANT_ARG(sim_.Now(), TraceCategory::kVscale, "fault_begin", -1, -1,
                            -1, ToString(ev.kind), ev.magnitude);
   if (on_transition) {

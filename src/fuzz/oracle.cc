@@ -10,6 +10,7 @@
 #include "src/base/check.h"
 #include "src/base/metrics_registry.h"
 #include "src/metrics/state_digest.h"
+#include "src/obs/coverage.h"
 #include "src/obs/stall_accounting.h"
 #include "src/workloads/antagonist.h"
 #include "src/workloads/omp_app.h"
@@ -27,6 +28,7 @@ bool g_fairness_canary = false;
 struct RunOutcome {
   bool terminated = false;
   uint64_t digest = 0;
+  CoverageVector coverage;
   uint64_t violations = 0;
   std::string first_violation;
   int64_t stall_samples = 0;
@@ -66,12 +68,14 @@ RunOutcome RunScenarioOnce(const Scenario& s, uint64_t testbed_seed) {
   RunOutcome out;
   MetricsRegistry::Global().Clear();
   StallAccountant::Global().Reset();
+  CoverageMap::Global().Reset();
   CaptureViolations captured;
 
   {
     TestbedConfig cfg = s.config;
     cfg.seed = testbed_seed;
     cfg.stall_accounting = true;  // arms the exhaustiveness oracle
+    cfg.coverage = true;  // pure observer; harvested after the bed tears down
     // The fairness canary (test-only): run the attack without its mitigations
     // while the oracle below still treats the scenario's hardening as armed,
     // so the violation MUST surface if the fairness oracle works.
@@ -202,14 +206,16 @@ RunOutcome RunScenarioOnce(const Scenario& s, uint64_t testbed_seed) {
     digest.Absorb(out.watchdog_trips);
     digest.Absorb(out.watchdog_recoveries);
     out.digest = digest.value();
-  }  // Testbed dtor: stall FinishRun + gauge freeze
+  }  // Testbed dtor: stall FinishRun + coverage FinishRun + gauge freeze
 
   out.stall_samples = StallAccountant::Global().samples();
   out.stall_failures = StallAccountant::Global().exhaustive_failures();
+  out.coverage = CoverageMap::Global().Vector();
   out.violations = captured.count();
   out.first_violation = captured.first();
 
   StallAccountant::Global().Reset();
+  CoverageMap::Global().Reset();
   MetricsRegistry::Global().Clear();
   return out;
 }
@@ -243,6 +249,11 @@ const char* ToString(OracleVerdict v) {
   return "?";
 }
 
+CoverageVector RunCoverageOnce(const Scenario& s) {
+  s.Validate();
+  return RunScenarioOnce(s, s.seed).coverage;
+}
+
 void SetFuzzCanary(bool enabled) { g_fuzz_canary = enabled; }
 bool FuzzCanaryEnabled() { return g_fuzz_canary; }
 
@@ -256,6 +267,7 @@ OracleReport RunOracle(const Scenario& s) {
   const RunOutcome run1 = RunScenarioOnce(s, s.seed);
   report.digest1 = run1.digest;
   report.end_time = run1.end_time;
+  report.coverage = run1.coverage;
 
   if (run1.violations > 0) {
     report.verdict = OracleVerdict::kInvariantViolation;
@@ -302,6 +314,7 @@ OracleReport RunOracle(const Scenario& s) {
   }
   const RunOutcome run2 = RunScenarioOnce(s, seed2);
   report.digest2 = run2.digest;
+  report.coverage_stable = run1.coverage == run2.coverage;
   if (run1.digest != run2.digest) {
     report.verdict = OracleVerdict::kDigestDivergence;
     report.detail =

@@ -32,6 +32,7 @@
 #include <string>
 
 #include "src/fuzz/scenario.h"
+#include "src/obs/coverage.h"
 
 namespace vscale {
 
@@ -58,6 +59,14 @@ struct OracleReport {
   uint64_t digest2 = 0;
   // Virtual completion time of the first run (== horizon when it hung).
   TimeNs end_time = 0;
+  // The first run's semantic coverage vector (src/obs/coverage.h): which
+  // catalogue points the scenario actually reached. Feeds the fuzzer's
+  // frontier merge and fuzz_run --replay's coverage line.
+  CoverageVector coverage;
+  // False iff the double-run happened and its coverage vector differed from
+  // the first run's — the map broke its own determinism contract even if the
+  // digests agreed. True when the oracle bailed before run 2.
+  bool coverage_stable = true;
 
   bool failed() const { return verdict != OracleVerdict::kPass; }
 };
@@ -68,6 +77,12 @@ struct OracleReport {
 // cleared before and after; the installed invariant handler is saved and
 // restored. Callers can interleave oracle runs with anything.
 OracleReport RunOracle(const Scenario& s);
+
+// Single-run coverage probe: runs `s` once with every observer armed and
+// returns its coverage vector, skipping the verdict battery and the digest
+// double-run. Half the cost of RunOracle — what the coverage-guided sweep and
+// fuzz_run --cov-check use to measure a budget's frontier.
+CoverageVector RunCoverageOnce(const Scenario& s);
 
 // Test-only planted bug ("canary"): when enabled, the oracle deliberately
 // perturbs the second run's seed whenever the scenario's fault plan contains a

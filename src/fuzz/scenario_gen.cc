@@ -1,6 +1,7 @@
 #include "src/fuzz/scenario_gen.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/base/rng.h"
 #include "src/workloads/omp_app.h"
@@ -96,6 +97,50 @@ FaultEvent DrawFault(Rng& rng, int pool_pcpus) {
   return ev;
 }
 
+// Horizon sizing, shared by generation and mutation: generous by design. The
+// oracle stops at workload completion, so a healthy run never consumes the
+// slack; only a genuine hang pays it. The 10 s floor already dominates every
+// drawable fault window (start <= 4 s, duration <= 0.8 s, + 3 s recovery
+// margin) and web window (<= 3.8 s + drain).
+TimeNs ComputeHorizon(const Scenario& s) {
+  TimeNs omp_work = 0;
+  TimeNs web_end = 0;
+  for (const WorkloadSpec& w : s.workloads) {
+    if (w.kind == WorkloadSpec::Kind::kOmp) {
+      omp_work += w.intervals *
+                  NpbProfile(w.app, s.config.primary_vcpus, w.spin_count)
+                      .grain_mean;
+    } else {
+      web_end = std::max(web_end, w.start + w.duration);
+    }
+  }
+  int antagonist_vcpus = 0;
+  for (const AntagonistConfig& a : s.config.antagonists) {
+    antagonist_vcpus += a.vcpus;
+  }
+  const int total_vcpus = s.config.primary_vcpus +
+                          2 * std::max(0, s.config.background_vms) +
+                          antagonist_vcpus;
+  const int64_t contention =
+      (total_vcpus + s.config.pool_pcpus - 1) / s.config.pool_pcpus;
+  // A working attack squeezes the primary harder than weight-fair contention
+  // predicts; double the compute slack so the liveness oracle blames real
+  // hangs, not a slow-but-progressing victim.
+  const int64_t attack_slack = s.config.antagonists.empty() ? 1 : 2;
+  return std::max<TimeNs>({Seconds(10),
+                           omp_work * contention * 12 * attack_slack,
+                           web_end + Seconds(2)});
+}
+
+// The generator's hardening block: the full mitigation suite, used both for
+// fresh draws and for the mutation that arms a previously-unhardened cell.
+void DrawHardening(Rng& rng, HardeningConfig* h) {
+  h->acct_time_based = true;
+  h->boost_budget = static_cast<int>(rng.UniformInt(1, 3));
+  h->waited_cap_ratio = 2.0;
+  h->plausibility_clamp = true;
+}
+
 }  // namespace
 
 Scenario GenerateScenario(uint64_t seed) {
@@ -152,10 +197,7 @@ Scenario GenerateScenario(uint64_t seed) {
   if (adv.Chance(0.3)) {
     s.config.antagonists.push_back(DrawAntagonist(adv, s.config.policy));
     if (adv.Chance(0.5)) {
-      s.config.hardening.acct_time_based = true;
-      s.config.hardening.boost_budget = static_cast<int>(adv.UniformInt(1, 3));
-      s.config.hardening.waited_cap_ratio = 2.0;
-      s.config.hardening.plausibility_clamp = true;
+      DrawHardening(adv, &s.config.hardening);
     }
   }
 
@@ -172,40 +214,186 @@ Scenario GenerateScenario(uint64_t seed) {
   }
   s.config.faults.seed = fault_rng.NextU64();
 
-  // Horizon: generous by design. The oracle stops at workload completion, so a
-  // healthy run never consumes the slack; only a genuine hang pays it. The
-  // floor already dominates every fault window (start <= 4 s, duration
-  // <= 0.8 s, + 3 s recovery margin < 10 s) and web window (<= 3.8 s + drain).
-  TimeNs omp_work = 0;
-  TimeNs web_end = 0;
-  for (const WorkloadSpec& w : s.workloads) {
-    if (w.kind == WorkloadSpec::Kind::kOmp) {
-      omp_work += w.intervals *
-                  NpbProfile(w.app, s.config.primary_vcpus, w.spin_count)
-                      .grain_mean;
-    } else {
-      web_end = std::max(web_end, w.start + w.duration);
-    }
-  }
-  int antagonist_vcpus = 0;
-  for (const AntagonistConfig& a : s.config.antagonists) {
-    antagonist_vcpus += a.vcpus;
-  }
-  const int total_vcpus = s.config.primary_vcpus +
-                          2 * std::max(0, s.config.background_vms) +
-                          antagonist_vcpus;
-  const int64_t contention =
-      (total_vcpus + s.config.pool_pcpus - 1) / s.config.pool_pcpus;
-  // A working attack squeezes the primary harder than weight-fair contention
-  // predicts; double the compute slack so the liveness oracle blames real
-  // hangs, not a slow-but-progressing victim.
-  const int64_t attack_slack = s.config.antagonists.empty() ? 1 : 2;
-  s.horizon = std::max<TimeNs>(
-      {Seconds(10), omp_work * contention * 12 * attack_slack,
-       web_end + Seconds(2)});
+  s.horizon = ComputeHorizon(s);
 
   s.Validate();
   return s;
+}
+
+Scenario MutateScenario(const Scenario& base, uint64_t seed) {
+  Rng root(seed);
+  // The mutation picker and each dimension's redraw get their own streams,
+  // mirroring GenerateScenario's discipline: extending one mutation kind never
+  // shifts what another kind produces for the same (base, seed).
+  Rng pick = root.Fork(0x9c);
+  Rng topo = root.Fork(0x70);
+  Rng knobs = root.Fork(0x6b);
+  Rng work = root.Fork(0x3c);
+  Rng fault_rng = root.Fork(0xfa);
+  Rng adv = root.Fork(0xad);
+
+  Scenario s = base;
+  s.seed = seed;
+  s.config.seed = seed;
+
+  switch (pick.NextBelow(6)) {
+    case 0: {  // policy flip
+      s.config.policy = DrawPolicy(topo);
+      break;
+    }
+    case 1: {  // topology: pool width, primary width, consolidation level
+      s.config.pool_pcpus = static_cast<int>(topo.UniformInt(2, 8));
+      s.config.primary_vcpus = static_cast<int>(topo.UniformInt(2, 8));
+      s.config.background_vms =
+          topo.Chance(0.4) ? -1 : static_cast<int>(topo.UniformInt(1, 3));
+      break;
+    }
+    case 2: {  // workload mix: grow, shrink, or replace one entry
+      if (s.workloads.size() < 2 && work.Chance(0.3)) {
+        s.workloads.push_back(DrawWorkload(work, s.config.primary_vcpus));
+      } else if (s.workloads.size() > 1 && work.Chance(0.3)) {
+        s.workloads.erase(s.workloads.begin() +
+                          static_cast<long>(work.NextBelow(s.workloads.size())));
+      } else {
+        s.workloads[work.NextBelow(s.workloads.size())] =
+            DrawWorkload(work, s.config.primary_vcpus);
+      }
+      break;
+    }
+    case 3: {  // fault plan: add, redraw, or drop a window; fresh plan seed
+      const size_t n = s.config.faults.events.size();
+      const uint64_t r = fault_rng.NextBelow(3);
+      if (r == 0 || n == 0) {
+        s.config.faults.events.push_back(
+            DrawFault(fault_rng, s.config.pool_pcpus));
+      } else if (r == 1) {
+        s.config.faults.events[fault_rng.NextBelow(n)] =
+            DrawFault(fault_rng, s.config.pool_pcpus);
+      } else {
+        s.config.faults.events.erase(
+            s.config.faults.events.begin() +
+            static_cast<long>(fault_rng.NextBelow(n)));
+      }
+      s.config.faults.seed = fault_rng.NextU64();
+      break;
+    }
+    case 4: {  // adversarial block: add an antagonist, drop it, or flip armor
+      if (s.config.antagonists.empty()) {
+        s.config.antagonists.push_back(DrawAntagonist(adv, s.config.policy));
+        if (adv.Chance(0.5)) DrawHardening(adv, &s.config.hardening);
+      } else if (adv.Chance(0.5)) {
+        s.config.antagonists.clear();
+        s.config.hardening = HardeningConfig{};
+      } else if (s.config.hardening.AnyEnabled()) {
+        s.config.hardening = HardeningConfig{};
+      } else {
+        DrawHardening(adv, &s.config.hardening);
+      }
+      break;
+    }
+    default: {  // daemon/watchdog knob redraw, same ranges as the generator
+      s.config.daemon.poll_period = Milliseconds(knobs.UniformInt(5, 20));
+      s.config.daemon.shrink_confirmations =
+          static_cast<int>(knobs.UniformInt(2, 6));
+      s.config.daemon.grow_confirmations =
+          static_cast<int>(knobs.UniformInt(1, 3));
+      s.config.daemon.stale_reads_threshold =
+          static_cast<int>(knobs.UniformInt(4, 12));
+      s.config.daemon.unhealthy_cycles =
+          static_cast<int>(knobs.UniformInt(1, 3));
+      s.config.daemon.resume_confirmations =
+          static_cast<int>(knobs.UniformInt(1, 4));
+      s.config.daemon.safe_vcpu_floor =
+          static_cast<int>(knobs.UniformInt(0, 2));
+      s.config.watchdog.check_period = Milliseconds(knobs.UniformInt(5, 20));
+      s.config.watchdog.missed_cycles =
+          static_cast<int>(knobs.UniformInt(6, 16));
+      break;
+    }
+  }
+
+  // Cross-dimension repairs, whatever mutated: a steal burst must leave the
+  // (possibly shrunk) pool a pCPU, and a freeze straggler only exists under a
+  // vScale policy — the same rules the fresh draws enforce.
+  for (FaultEvent& ev : s.config.faults.events) {
+    if (ev.kind == FaultKind::kStealBurst && ev.magnitude > 0) {
+      ev.magnitude = std::min<int64_t>(ev.magnitude,
+                                       std::max(1, s.config.pool_pcpus - 1));
+    }
+  }
+  for (AntagonistConfig& a : s.config.antagonists) {
+    if (a.kind == AntagonistKind::kFreezeStraggler &&
+        !PolicyUsesVscale(s.config.policy)) {
+      a.kind = AntagonistKind::kBoostAbuser;
+      a.run_daemon = false;
+    }
+  }
+
+  s.horizon = ComputeHorizon(s);
+  s.Validate();
+  return s;
+}
+
+CoverageVector PredictedCoverage(const Scenario& s) {
+  CoverageVector v(kNumCoveragePoints, 0);
+  const auto hit = [&v](CoveragePoint p) { ++v[static_cast<size_t>(p)]; };
+
+  // Resolve auto topology the way the Testbed constructor does, so the
+  // predicted shape bins match what RecordShape will actually record.
+  const int pool = s.config.pool_pcpus > 0 ? s.config.pool_pcpus : 12;
+  int bg = s.config.background_vms;
+  if (bg == 0) {
+    bg = std::max(0, (2 * pool - s.config.primary_vcpus) / 2);
+  } else if (bg < 0) {
+    bg = 0;
+  }
+  const int domains = 1 + bg + static_cast<int>(s.config.antagonists.size());
+  hit(domains <= 1   ? CoveragePoint::kShapeDomains1
+      : domains <= 4 ? CoveragePoint::kShapeDomains2To4
+                     : CoveragePoint::kShapeDomains5Plus);
+  hit(s.config.primary_vcpus <= 4 ? CoveragePoint::kShapeVcpusSmall
+                                  : CoveragePoint::kShapeVcpusLarge);
+  hit(bg == 0 ? CoveragePoint::kShapeDedicated
+              : CoveragePoint::kShapeConsolidated);
+  // The shape.policy_* block mirrors the Policy enum order.
+  hit(static_cast<CoveragePoint>(
+      static_cast<int>(CoveragePoint::kShapePolicyBaseline) +
+      static_cast<int>(s.config.policy)));
+  if (!s.config.antagonists.empty()) hit(CoveragePoint::kShapeAntagonist);
+  if (s.config.hardening.AnyEnabled()) hit(CoveragePoint::kShapeHardened);
+
+  // One fault.* point per planned window: the oracle never stops a run before
+  // every window has opened and closed, so a planned kind is a reached kind.
+  for (const FaultEvent& ev : s.config.faults.events) {
+    hit(static_cast<CoveragePoint>(
+        static_cast<int>(CoveragePoint::kFaultChannelStale) +
+        static_cast<int>(ev.kind)));
+  }
+  return v;
+}
+
+Scenario GenerateScenarioBiased(uint64_t seed, const CoverageVector& frontier) {
+  constexpr int kCandidates = 4;
+  // Extra candidate seeds come from a stream salted away from the sweep's own
+  // seed line, so a biased sweep never just replays its blind neighbors.
+  Rng extra(seed ^ 0xb1a5ull);
+  Scenario best;
+  int best_score = -1;
+  for (int i = 0; i < kCandidates; ++i) {
+    Scenario cand = GenerateScenario(i == 0 ? seed : extra.NextU64());
+    const CoverageVector pred = PredictedCoverage(cand);
+    int score = 0;
+    for (int p = 0; p < kNumCoveragePoints; ++p) {
+      const bool in_frontier = static_cast<size_t>(p) < frontier.size() &&
+                               frontier[static_cast<size_t>(p)] > 0;
+      if (pred[static_cast<size_t>(p)] > 0 && !in_frontier) ++score;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(cand);
+    }
+  }
+  return best;
 }
 
 }  // namespace vscale

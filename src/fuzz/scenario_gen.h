@@ -16,12 +16,39 @@
 #include <cstdint>
 
 #include "src/fuzz/scenario.h"
+#include "src/obs/coverage.h"
 
 namespace vscale {
 
 // Deterministic in `seed`; uses only forked Rng streams so the draw order of
 // one dimension (topology, workloads, faults) never perturbs the others.
 Scenario GenerateScenario(uint64_t seed);
+
+// Corpus-mutation mode: perturbs one dimension of `base` — policy, topology,
+// workload mix, fault plan, antagonist/hardening block, or daemon/watchdog
+// knobs — redrawing it with the generator's own draw functions. Deterministic
+// in (base, seed) and legal by construction (clamps steal magnitudes to the
+// mutated pool, remaps freeze stragglers off non-vScale policies, recomputes
+// the horizon, ends with Validate()). Uses its own forked streams of a fresh
+// Rng(seed), so GenerateScenario's streams — and every existing corpus seed —
+// stay untouched.
+Scenario MutateScenario(const Scenario& base, uint64_t seed);
+
+// The coverage points (src/obs/coverage.h) a scenario is statically guaranteed
+// to hit: its shape.* bins (resolved the way Testbed resolves auto topology)
+// and one fault.* point per fault-plan entry (the oracle always runs past
+// every fault window). Dynamic points — daemon states, pairs, dominant stall
+// buckets — cannot be predicted without running, so they never score here.
+CoverageVector PredictedCoverage(const Scenario& s);
+
+// Frontier-biased generation (docs/FUZZING.md): draws a handful of candidate
+// scenarios from seeds derived off `seed`, scores each by how many of its
+// predicted points are still uncovered in `frontier`, and returns the best.
+// Candidate 0 is GenerateScenario(seed) itself, so against a saturated
+// frontier the biased draw degenerates to the blind one. Prediction is
+// static — the extra candidates cost draws, not simulation runs, which is
+// what lets fuzz_run --cov-check compare guided vs blind at equal run budget.
+Scenario GenerateScenarioBiased(uint64_t seed, const CoverageVector& frontier);
 
 }  // namespace vscale
 

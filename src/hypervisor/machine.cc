@@ -6,6 +6,7 @@
 #include "src/base/check.h"
 #include "src/base/log.h"
 #include "src/base/trace.h"
+#include "src/obs/coverage.h"
 #include "src/obs/stall_accounting.h"
 
 namespace vscale {
@@ -380,6 +381,7 @@ void Machine::WakeVcpu(Vcpu& v, bool boost_eligible) {
       // Budget exhausted (anti boost-abuse): the wake still queues, at UNDER —
       // it just cannot queue-jump until the next accounting period.
       ++boost_denied_;
+      VS_COVER(Record(CoveragePoint::kBoostDenied));
     } else {
       v.priority = CreditPriority::kBoost;
       ++v.boost_used;

@@ -1,5 +1,7 @@
 #include "src/hypervisor/vscale_channel.h"
 
+#include "src/obs/coverage.h"
+
 namespace vscale {
 
 VscaleChannel::ReadResult VscaleChannel::Read() {
@@ -37,6 +39,7 @@ VscaleChannel::ReadResult VscaleChannel::Read() {
   if (p.seq != 0 && p.stamp != ChannelStamp(p.seq, p.nvcpus)) {
     ++reads_failed_;
     ++torn_rejected_;
+    VS_COVER(Record(CoveragePoint::kTornReadRejected));
     return r;
   }
 

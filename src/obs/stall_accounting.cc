@@ -7,6 +7,7 @@
 #include "src/base/check.h"
 #include "src/base/metrics_registry.h"
 #include "src/base/trace.h"
+#include "src/obs/coverage.h"
 
 namespace vscale {
 
@@ -93,6 +94,18 @@ void StallAccountant::FinishRun(TimeNs now) {
       row.buckets[i] = totals[static_cast<size_t>(i)];
     }
     rows_.push_back(std::move(row));
+    // Coverage: the bucket that dominated this domain's wall time is a
+    // semantic feature of the run (ties break toward the earlier bucket,
+    // deterministically). Pure observation of already-final totals.
+    int best = 0;
+    for (int i = 1; i < kStallBucketCount; ++i) {
+      if (totals[static_cast<size_t>(i)] > totals[static_cast<size_t>(best)]) {
+        best = i;
+      }
+    }
+    if (totals[static_cast<size_t>(best)] > 0) {
+      VS_COVER(OnStallDominant(static_cast<StallBucket>(best)));
+    }
   }
   active_ = false;
   obs_internal::g_stall_enabled = false;

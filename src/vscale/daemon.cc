@@ -5,6 +5,7 @@
 
 #include "src/base/check.h"
 #include "src/base/trace.h"
+#include "src/obs/coverage.h"
 
 namespace vscale {
 
@@ -93,6 +94,7 @@ void VscaleDaemon::DoApply() {
 void VscaleDaemon::Degrade() {
   degraded_ = true;
   ++degradations_;
+  VS_COVER(OnDaemonDegrade());
   if (first_degrade_ns_ == 0) {
     first_degrade_ns_ = kernel_.NowNs();
   }
@@ -112,6 +114,7 @@ void VscaleDaemon::Degrade() {
 void VscaleDaemon::Resume() {
   degraded_ = false;
   ++resumes_;
+  VS_COVER(OnDaemonResume());
   last_resume_ns_ = kernel_.NowNs();
   votes_ = 0;
   pending_target_ = -1;
@@ -120,6 +123,9 @@ void VscaleDaemon::Resume() {
 }
 
 void VscaleDaemon::OnWatchdogTrip() {
+  // Watchdog-forced degradation enters the same semantic state as a
+  // self-detected one; keep the coverage map's daemon-state shadow honest.
+  VS_COVER(OnDaemonDegrade());
   degraded_ = true;
   votes_ = 0;
   pending_target_ = -1;
@@ -167,6 +173,7 @@ Op VscaleDaemon::CycleStart(GuestKernel& kernel) {
     if (!crashed_) {
       crashed_ = true;
       ++crashes_;
+      VS_COVER(OnDaemonCrash());
       VSCALE_TRACE_INSTANT(kernel.NowNs(), TraceCategory::kVscale, "daemon_crash",
                            kernel.domain().id(), 0, -1);
     }
@@ -176,6 +183,7 @@ Op VscaleDaemon::CycleStart(GuestKernel& kernel) {
   if (crashed_) {
     crashed_ = false;
     ++restarts_;
+    VS_COVER(OnDaemonRestart());
     ResetControlState();
     VSCALE_TRACE_INSTANT(kernel.NowNs(), TraceCategory::kVscale, "daemon_restart",
                          kernel.domain().id(), 0, -1);
@@ -224,6 +232,7 @@ Op VscaleDaemon::CycleStart(GuestKernel& kernel) {
       if (stale_streak_ >= config_.stale_reads_threshold) {
         if (stale_streak_ == config_.stale_reads_threshold) {
           ++stale_detections_;
+          VS_COVER(OnDaemonStaleHold());
           VSCALE_TRACE_INSTANT_ARG(kernel.NowNs(), TraceCategory::kVscale,
                                    "stale_detected", kernel.domain().id(), 0, -1,
                                    "seq", static_cast<int64_t>(r.seq));
@@ -302,6 +311,7 @@ Op VscaleDaemon::CycleStart(GuestKernel& kernel) {
             ++implausible_streak_;
             if (implausible_streak_ >= config_.clamp_confirmations) {
               ++clamped_cycles_;
+              VS_COVER(Record(CoveragePoint::kClampFired));
               VSCALE_TRACE_INSTANT_ARG(kernel.NowNs(), TraceCategory::kVscale,
                                        "clamp", kernel.domain().id(), 0, -1,
                                        "plausible", plausible);

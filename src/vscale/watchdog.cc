@@ -4,6 +4,7 @@
 
 #include "src/base/check.h"
 #include "src/base/trace.h"
+#include "src/obs/coverage.h"
 
 namespace vscale {
 
@@ -44,6 +45,7 @@ void VscaleWatchdog::Check() {
       // The daemon is heartbeating again (stall window closed or restart done).
       tripped_ = false;
       ++recoveries_;
+      VS_COVER(OnWatchdogRecovery());
       last_recovery_ns_ = now;
       VSCALE_TRACE_INSTANT(now, TraceCategory::kVscale, "watchdog_recover",
                            kernel_.domain().id(), 0, -1);
@@ -55,6 +57,9 @@ void VscaleWatchdog::Check() {
   }
   tripped_ = true;
   ++trips_;
+  // Before daemon_.OnWatchdogTrip() below: the pair feature wants the daemon
+  // state the trip landed on, not the state the trip forces it into.
+  VS_COVER(OnWatchdogTrip());
   if (first_trip_ns_ == 0) {
     first_trip_ns_ = now;
   }

@@ -3,6 +3,7 @@
 #include "src/base/check.h"
 #include "src/base/metrics_registry.h"
 #include "src/metrics/run_metrics.h"
+#include "src/obs/coverage.h"
 #include "src/obs/stall_accounting.h"
 
 namespace vscale {
@@ -11,11 +12,14 @@ namespace {
 // Harness-wide default (Testbed::SetStallAccountingDefault); OR-ed with each
 // TestbedConfig's stall_accounting flag at construction.
 bool g_stall_accounting_default = false;
+bool g_coverage_default = false;
 }  // namespace
 
 void Testbed::SetStallAccountingDefault(bool enabled) {
   g_stall_accounting_default = enabled;
 }
+
+void Testbed::SetCoverageDefault(bool enabled) { g_coverage_default = enabled; }
 
 const char* ToString(Policy p) {
   switch (p) {
@@ -104,6 +108,20 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   if (stall_enabled_) {
     StallAccountant::Global().BeginRun(
         SanitizeMetricName(ToString(config_.policy)));
+  }
+
+  // Arm the coverage map alongside, and bin the resolved scenario shape while
+  // the config is in hand (the domain count includes desktops + antagonists).
+  cover_enabled_ = config_.coverage || g_coverage_default;
+  if (cover_enabled_) {
+    CoverageMap::Global().BeginRun();
+    const int domains = 1 + config_.background_vms +
+                        static_cast<int>(config_.antagonists.size());
+    CoverageMap::Global().RecordShape(
+        static_cast<int>(config_.policy), domains, config_.primary_vcpus,
+        /*dedicated=*/config_.background_vms == 0,
+        /*antagonist=*/!config_.antagonists.empty(),
+        /*hardened=*/config_.hardening.AnyEnabled());
   }
 
   MachineConfig mc;
@@ -279,6 +297,16 @@ Testbed::~Testbed() {
     acct.FinishRun(sim().Now());
     acct.PublishMetrics(MetricsRegistry::Global(),
                         SanitizeMetricName(ToString(config_.policy)) + ".");
+  }
+  if (cover_enabled_) {
+    // After the stall FinishRun above, so the dominant-bucket points it emits
+    // land in this run's vector; publish the per-run coverage vector as cov.*
+    // counters, then drop the gate. Counts stay readable (CoverageMap::Vector)
+    // until the next BeginRun — the oracle harvests them post-destruction.
+    CoverageMap& cov = CoverageMap::Global();
+    cov.PublishMetrics(MetricsRegistry::Global(),
+                       SanitizeMetricName(ToString(config_.policy)) + ".");
+    cov.FinishRun();
   }
   // Gauges registered above hold references into this machine: materialize their
   // final values before teardown so later WriteCsv() calls stay valid.

@@ -107,6 +107,10 @@ struct TestbedConfig {
   // tracing it never mutates simulation state, so an enabled run digests
   // bit-identically to a disabled one (tools/digest_run --stall-check).
   bool stall_accounting = false;
+  // Semantic coverage map (docs/FUZZING.md). Off by default; a pure observer
+  // like stall accounting, so an enabled run digests bit-identically to a
+  // disabled one (tools/digest_run --cov-check).
+  bool coverage = false;
   // Antagonist VMs joining the pool beside the desktops, one domain each, in
   // order (docs/ADVERSARIAL.md). Empty = the stock benign testbed.
   std::vector<AntagonistConfig> antagonists;
@@ -156,10 +160,13 @@ class Testbed {
   }
 
   bool stall_enabled() const { return stall_enabled_; }
+  bool coverage_enabled() const { return cover_enabled_; }
   // Process-wide default for stall accounting, so harness flag parsing
   // (bench/bench_common.h) can enable it without threading a field through
   // every benchmark's config construction. OR-ed with config.stall_accounting.
   static void SetStallAccountingDefault(bool enabled);
+  // Same mechanism for the coverage map; OR-ed with config.coverage.
+  static void SetCoverageDefault(bool enabled);
 
   // --- metric helpers over the primary VM ---
   TimeNs PrimaryWaitTime() const { return machine_->domain(0).TotalWait(); }
@@ -170,6 +177,7 @@ class Testbed {
  private:
   TestbedConfig config_;
   bool stall_enabled_ = false;
+  bool cover_enabled_ = false;
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<GuestKernel> primary_kernel_;
   std::vector<std::unique_ptr<GuestKernel>> background_kernels_;

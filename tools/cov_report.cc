@@ -1,0 +1,237 @@
+// cov_report: the semantic coverage frontier CLI (docs/FUZZING.md).
+//
+// Frontier files are the "vscale-coverage v1" text form WriteCoverageText
+// emits — fuzz_run --frontier-out produces them, the nightly soak uploads
+// them, and tests/coverage.baseline pins the smoke sweep's floor in CI.
+//
+//   cov_report <file>...           merge the files and print the catalogue:
+//                                  one line per point, '+' covered / '-' not,
+//                                  with the merged count; ends with a summary
+//   cov_report --diff <a> <b>      print points covered in exactly one of the
+//                                  two runs; exits 1 if any differ
+//   cov_report --merge <out> <in>...  merge frontier files into <out>
+//   cov_report --check <baseline> <current>  the coverage-trend gate: fail if
+//                                  <current> covers fewer points than
+//                                  <baseline>, naming every lost point
+//   cov_report --names             print the catalogue's point names, one per
+//                                  line (scripting: synthesizing frontiers)
+//   cov_report --selftest          in-binary unit checks (ctest entry)
+//
+// Coverage vectors are deterministic per scenario, so every number this tool
+// prints is reproducible from the frontier files alone; there is no
+// simulation behind it.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/coverage.h"
+
+namespace {
+
+using namespace vscale;
+
+bool LoadFrontier(const std::string& path, CoverageVector* out) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cov_report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  if (!ParseCoverageText(f, out, &error)) {
+    std::fprintf(stderr, "cov_report: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Catalogue(const std::vector<std::string>& paths) {
+  CoverageVector merged;
+  for (const std::string& path : paths) {
+    CoverageVector v;
+    if (!LoadFrontier(path, &v)) return 2;
+    MergeCoverage(&merged, v);
+  }
+  for (int i = 0; i < kNumCoveragePoints; ++i) {
+    const int64_t c =
+        static_cast<size_t>(i) < merged.size() ? merged[static_cast<size_t>(i)] : 0;
+    std::printf("%c %-38s %lld\n", c > 0 ? '+' : '-',
+                ToString(static_cast<CoveragePoint>(i)),
+                static_cast<long long>(c));
+  }
+  std::printf("cov_report: %s across %zu file(s)\n",
+              CoverageSummary(merged).c_str(), paths.size());
+  return 0;
+}
+
+int Diff(const std::string& a_path, const std::string& b_path) {
+  CoverageVector a, b;
+  if (!LoadFrontier(a_path, &a) || !LoadFrontier(b_path, &b)) return 2;
+  int differ = 0;
+  for (int i = 0; i < kNumCoveragePoints; ++i) {
+    const size_t s = static_cast<size_t>(i);
+    const bool in_a = s < a.size() && a[s] > 0;
+    const bool in_b = s < b.size() && b[s] > 0;
+    if (in_a == in_b) continue;
+    std::printf("%s %s\n", in_a ? "only-first " : "only-second",
+                ToString(static_cast<CoveragePoint>(i)));
+    ++differ;
+  }
+  std::printf("cov_report: first %s, second %s, %d point(s) differ\n",
+              CoverageSummary(a).c_str(), CoverageSummary(b).c_str(), differ);
+  return differ == 0 ? 0 : 1;
+}
+
+int Merge(const std::string& out_path, const std::vector<std::string>& paths) {
+  CoverageVector merged;
+  for (const std::string& path : paths) {
+    CoverageVector v;
+    if (!LoadFrontier(path, &v)) return 2;
+    MergeCoverage(&merged, v);
+  }
+  std::ofstream f(out_path);
+  if (f) WriteCoverageText(f, merged);
+  if (!f.good()) {
+    std::fprintf(stderr, "cov_report: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("cov_report: merged %zu file(s) into %s (%s)\n", paths.size(),
+              out_path.c_str(), CoverageSummary(merged).c_str());
+  return 0;
+}
+
+// The trend gate: current coverage may grow or shift, but the covered-point
+// count must never drop below the checked-in baseline — and any point the
+// baseline covers that current does not is named, so a regression says which
+// region of the state space went dark.
+int Check(const std::string& baseline_path, const std::string& current_path) {
+  CoverageVector baseline, current;
+  if (!LoadFrontier(baseline_path, &baseline) ||
+      !LoadFrontier(current_path, &current)) {
+    return 2;
+  }
+  for (int i = 0; i < kNumCoveragePoints; ++i) {
+    const size_t s = static_cast<size_t>(i);
+    const bool was = s < baseline.size() && baseline[s] > 0;
+    const bool is = s < current.size() && current[s] > 0;
+    if (was && !is) {
+      std::printf("lost %s\n", ToString(static_cast<CoveragePoint>(i)));
+    }
+  }
+  const int base_points = CoveredPoints(baseline);
+  const int cur_points = CoveredPoints(current);
+  if (cur_points < base_points) {
+    std::fprintf(stderr,
+                 "cov_report: coverage REGRESSED: %d covered point(s), "
+                 "baseline %s has %d\n",
+                 cur_points, baseline_path.c_str(), base_points);
+    return 1;
+  }
+  std::printf("cov_report: check OK — %d covered point(s) >= baseline %d\n",
+              cur_points, base_points);
+  return 0;
+}
+
+int Names() {
+  for (int i = 0; i < kNumCoveragePoints; ++i) {
+    std::printf("%s\n", ToString(static_cast<CoveragePoint>(i)));
+  }
+  return 0;
+}
+
+#define COV_EXPECT(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "cov_report: selftest FAILED at %s:%d: %s\n",  \
+                   __FILE__, __LINE__, #cond);                            \
+      return 1;                                                           \
+    }                                                                     \
+  } while (0)
+
+int SelfTest() {
+  // Every catalogue name round-trips through the parser and is unique.
+  for (int i = 0; i < kNumCoveragePoints; ++i) {
+    CoveragePoint p;
+    COV_EXPECT(ParseCoveragePoint(ToString(static_cast<CoveragePoint>(i)), &p));
+    COV_EXPECT(static_cast<int>(p) == i);
+  }
+  CoveragePoint p;
+  COV_EXPECT(!ParseCoveragePoint("no.such_point", &p));
+
+  // Text round-trip, including a zero and a large count.
+  CoverageVector v(kNumCoveragePoints, 0);
+  v[0] = 3;
+  v[static_cast<size_t>(kNumCoveragePoints) - 1] = 1234567;
+  std::stringstream ss;
+  WriteCoverageText(ss, v);
+  CoverageVector back;
+  std::string error;
+  COV_EXPECT(ParseCoverageText(ss, &back, &error));
+  COV_EXPECT(back == v);
+  COV_EXPECT(CoveredPoints(back) == 2);
+
+  // Missing points parse as zero; unknown names and bad counts are errors.
+  {
+    std::stringstream partial("vscale-coverage v1\nfault.channel_stale 2\n");
+    COV_EXPECT(ParseCoverageText(partial, &back, &error));
+    COV_EXPECT(back[0] == 2 && CoveredPoints(back) == 1);
+    std::stringstream unknown("vscale-coverage v1\nbogus.point 1\n");
+    COV_EXPECT(!ParseCoverageText(unknown, &back, &error));
+    std::stringstream bad("vscale-coverage v1\nfault.channel_stale x\n");
+    COV_EXPECT(!ParseCoverageText(bad, &back, &error));
+    std::stringstream headerless("fault.channel_stale 1\n");
+    COV_EXPECT(!ParseCoverageText(headerless, &back, &error));
+  }
+
+  // Merge sums per point and resizes an empty destination.
+  CoverageVector merged;
+  MergeCoverage(&merged, v);
+  MergeCoverage(&merged, v);
+  COV_EXPECT(merged[0] == 6 && CoveredPoints(merged) == 2);
+
+  COV_EXPECT(CoverageSummary(v) ==
+             "coverage 2/" + std::to_string(kNumCoveragePoints) + " points");
+
+  std::printf("cov_report: selftest OK (%d catalogue points)\n",
+              kNumCoveragePoints);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cov_report <frontier>...\n"
+               "       cov_report --diff <a> <b>\n"
+               "       cov_report --merge <out> <in>...\n"
+               "       cov_report --check <baseline> <current>\n"
+               "       cov_report --names\n"
+               "       cov_report --selftest\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  if (args[0] == "--selftest") return SelfTest();
+  if (args[0] == "--names") return Names();
+  if (args[0] == "--diff") {
+    if (args.size() != 3) return Usage();
+    return Diff(args[1], args[2]);
+  }
+  if (args[0] == "--merge") {
+    if (args.size() < 3) return Usage();
+    return Merge(args[1], {args.begin() + 2, args.end()});
+  }
+  if (args[0] == "--check") {
+    if (args.size() != 3) return Usage();
+    return Check(args[1], args[2]);
+  }
+  for (const std::string& a : args) {
+    if (!a.empty() && a[0] == '-') return Usage();
+  }
+  return Catalogue(args);
+}

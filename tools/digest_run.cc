@@ -13,6 +13,11 @@
 //                                    attribution off then on; the machine/guest
 //                                    digests must match bit-for-bit (the
 //                                    profiler must be a pure observer)
+//   digest_run --cov-check           run every scenario with the coverage map
+//                                    off then on; the machine/guest digests
+//                                    must match bit-for-bit and each on-run
+//                                    must cover at least one point (the map
+//                                    must be a pure, non-vacuous observer)
 //   digest_run <scenario> [--seed N] run once, print "scenario seed digest"
 //   digest_run --list                list scenario names
 //
@@ -22,6 +27,7 @@
 // fault scenario of docs/FAULTS.md — faulted runs must replay bit-identically
 // too, or the fault plane itself has a determinism hole.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +38,7 @@
 #include "src/base/time.h"
 #include "src/faults/fault_plan.h"
 #include "src/metrics/state_digest.h"
+#include "src/obs/coverage.h"
 #include "src/obs/stall_accounting.h"
 #include "src/workloads/omp_app.h"
 #include "src/workloads/testbed.h"
@@ -65,7 +72,15 @@ void RunCell(Policy policy, const char* app_name, int64_t spin_count,
   OmpApp app(bed.primary(), app_cfg, seed ^ 0x9e3779b97f4a7c15ull);
   bed.sim().RunUntil(Milliseconds(200));
   app.Start();
-  bed.RunUntil([&] { return app.done(); }, Seconds(120));
+  // A faulted cell must outlive its fault plan: without the floor, a fast app
+  // can finish before the first window opens and the plan never fires — the
+  // chaos scenario would digest the fault plane without exercising it.
+  TimeNs min_end = 0;
+  for (const FaultEvent& ev : cfg.faults.events) {
+    min_end = std::max(min_end, ev.end() + Seconds(1));
+  }
+  bed.RunUntil([&] { return app.done() && bed.sim().Now() >= min_end; },
+               Seconds(120));
   digest->Absorb(static_cast<uint64_t>(app.done() ? 1 : 0));
   digest->Absorb(app.duration());
   digest->AbsorbMachine(bed.machine());
@@ -166,6 +181,79 @@ int StallCheck(uint64_t seed) {
   return 0;
 }
 
+// The coverage map must be a pure observer too: every scenario — including
+// chaos, whose fault plan exercises most of the catalogue — has to replay to
+// the same machine/guest digest with the map off and on. Like --stall-check,
+// the registry is NOT absorbed (an on-run legitimately publishes cov.*
+// counters); what must not move is the simulation. The check is also
+// non-vacuous: each on-run must cover at least one point, and the chaos
+// on-run must cover at least one fault.* point.
+int CovCheck(uint64_t seed) {
+  CoverageMap::Global().Reset();
+  int failures = 0;
+  for (const Scenario& s : kScenarios) {
+    MetricsRegistry::Global().Clear();
+    Testbed::SetCoverageDefault(false);
+    StateDigest off_digest;
+    s.run(seed, &off_digest);
+    MetricsRegistry::Global().Clear();
+
+    Testbed::SetCoverageDefault(true);
+    StateDigest on_digest;
+    s.run(seed, &on_digest);
+    Testbed::SetCoverageDefault(false);
+    MetricsRegistry::Global().Clear();
+
+    // The last testbed's vector survives its FinishRun; enough for vacuity.
+    const CoverageVector v = CoverageMap::Global().Vector();
+    const int covered = CoveredPoints(v);
+    CoverageMap::Global().Reset();
+
+    if (off_digest.value() != on_digest.value()) {
+      std::fprintf(stderr,
+                   "digest_run: %s: coverage map perturbed the simulation: "
+                   "off=%s on=%s\n",
+                   s.name, Hex(off_digest.value()).c_str(),
+                   Hex(on_digest.value()).c_str());
+      ++failures;
+      continue;
+    }
+    if (covered <= 0) {
+      std::fprintf(stderr,
+                   "digest_run: %s: --cov-check vacuous: the on-run covered "
+                   "no points\n",
+                   s.name);
+      ++failures;
+      continue;
+    }
+    if (std::strcmp(s.name, "chaos") == 0) {
+      bool fault_point = false;
+      for (int i = static_cast<int>(CoveragePoint::kFaultChannelStale);
+           i <= static_cast<int>(CoveragePoint::kFaultStealBurst); ++i) {
+        if (v[static_cast<size_t>(i)] > 0) fault_point = true;
+      }
+      if (!fault_point) {
+        std::fprintf(stderr,
+                     "digest_run: chaos: --cov-check vacuous: fault plan ran "
+                     "but no fault.* point covered\n");
+        ++failures;
+        continue;
+      }
+    }
+    std::printf("digest_run: %s cov-check OK: digest %s identical off/on, "
+                "%d point(s) covered\n",
+                s.name, Hex(on_digest.value()).c_str(), covered);
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "digest_run: cov-check FAILED (%d scenario(s))\n",
+                 failures);
+    return 1;
+  }
+  std::printf("digest_run: cov-check OK (%zu scenarios)\n",
+              sizeof(kScenarios) / sizeof(kScenarios[0]));
+  return 0;
+}
+
 int SelfTest(uint64_t seed) {
   int failures = 0;
   for (const Scenario& s : kScenarios) {
@@ -205,11 +293,14 @@ int main(int argc, char** argv) {
   const char* scenario = nullptr;
   bool selftest = false;
   bool stall_check = false;
+  bool cov_check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--selftest") == 0) {
       selftest = true;
     } else if (std::strcmp(argv[i], "--stall-check") == 0) {
       stall_check = true;
+    } else if (std::strcmp(argv[i], "--cov-check") == 0) {
+      cov_check = true;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -223,12 +314,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: digest_run --selftest [--seed N] | "
                    "digest_run --stall-check [--seed N] | "
+                   "digest_run --cov-check [--seed N] | "
                    "digest_run <scenario> [--seed N] | digest_run --list\n");
       return 2;
     }
   }
   if (stall_check) {
     return StallCheck(seed);
+  }
+  if (cov_check) {
+    return CovCheck(seed);
   }
   if (selftest) {
     return SelfTest(seed);

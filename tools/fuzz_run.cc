@@ -16,8 +16,23 @@
 //       Print the scenario a seed generates (canonical .scenario text).
 //   fuzz_run --replay <file>...
 //       Parse, validate and run each .scenario file through the oracle; exits
-//       nonzero on the first failing verdict. Used both for triaging finds
-//       and as the ctest corpus regression gate (tests/corpus/).
+//       nonzero on the first failing verdict. Prints each run's coverage
+//       summary and fails if the coverage vector is empty or not bit-stable
+//       across the oracle's double run. Used both for triaging finds and as
+//       the ctest corpus regression gate (tests/corpus/).
+//   fuzz_run --mutate <file> [--seed S] [--count N] [--out DIR]
+//       Corpus-mutation sweep: N single-dimension mutants of a checked-in
+//       .scenario, each through the oracle battery; finds shrink like --smoke.
+//   fuzz_run --cov-check [--seed S] [--count N]
+//       The guided-generation gate (docs/FUZZING.md): run the same seed range
+//       blind and frontier-guided at equal run budget; guided must cover
+//       strictly more catalogue points.
+//
+// --smoke accepts --frontier-in FILE (switches generation to the
+// frontier-guided mode, steering toward points the file leaves uncovered) and
+// --frontier-out FILE (writes the sweep's cumulative coverage, mergeable by
+// tools/cov_report). Every sweep ends with a one-line cumulative coverage
+// summary.
 //
 // Everything is virtual-time and seed-driven: no wall clock anywhere, so a
 // soak budget is a scenario count, not minutes, and every line this tool
@@ -36,6 +51,7 @@
 #include "src/fuzz/scenario.h"
 #include "src/fuzz/scenario_gen.h"
 #include "src/fuzz/shrinker.h"
+#include "src/obs/coverage.h"
 
 namespace {
 
@@ -92,21 +108,65 @@ Scenario ShrinkAndReport(const Scenario& found, const OracleReport& report,
   return minimal;
 }
 
-int Sweep(uint64_t seed0, int count, const std::string& out_dir) {
+bool LoadFrontierFile(const std::string& path, CoverageVector* out) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "fuzz_run: cannot read frontier %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  if (!ParseCoverageText(f, out, &error)) {
+    std::fprintf(stderr, "fuzz_run: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool WriteFrontierFile(const std::string& path, const CoverageVector& v) {
+  std::ofstream f(path);
+  if (f) WriteCoverageText(f, v);
+  if (!f.good()) {
+    std::fprintf(stderr, "fuzz_run: cannot write frontier %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Sweep(uint64_t seed0, int count, const std::string& out_dir,
+          const std::string& frontier_in, const std::string& frontier_out) {
+  CoverageVector frontier;
+  const bool guided = !frontier_in.empty();
+  if (guided && !LoadFrontierFile(frontier_in, &frontier)) return 2;
   int finds = 0;
   for (int i = 0; i < count; ++i) {
     const uint64_t seed = seed0 + static_cast<uint64_t>(i);
-    const Scenario s = GenerateScenario(seed);
+    // Guided mode steers each draw with the live frontier: the file's points
+    // plus everything this sweep has already covered.
+    const Scenario s = guided ? GenerateScenarioBiased(seed, frontier)
+                              : GenerateScenario(seed);
     const OracleReport report = RunOracle(s);
+    MergeCoverage(&frontier, report.coverage);
     if (report.failed()) {
       ShrinkAndReport(s, report, out_dir);
       ++finds;
+    } else if (!report.coverage_stable) {
+      std::fprintf(stderr,
+                   "fuzz_run: seed %llu: coverage vector diverged across the "
+                   "double run — the map broke determinism\n",
+                   static_cast<unsigned long long>(seed));
+      return 1;
     }
     if ((i + 1) % 50 == 0) {
       std::printf("fuzz_run: %d/%d scenarios clean so far\n", i + 1 - finds,
                   i + 1);
     }
   }
+  if (!frontier_out.empty() && !WriteFrontierFile(frontier_out, frontier)) {
+    return 1;
+  }
+  std::printf("fuzz_run: cumulative %s over %d %s scenario(s)\n",
+              CoverageSummary(frontier).c_str(), count,
+              guided ? "guided" : "blind");
   if (finds != 0) {
     std::fprintf(stderr, "fuzz_run: %d scenario(s) FAILED out of %d\n", finds,
                  count);
@@ -121,6 +181,81 @@ int Sweep(uint64_t seed0, int count, const std::string& out_dir) {
               "off"
 #endif
   );
+  return 0;
+}
+
+// Corpus-mutation sweep: single-dimension perturbations of a checked-in
+// scenario, each through the full oracle battery.
+int MutateSweep(const std::string& base_path, uint64_t seed0, int count,
+                const std::string& out_dir) {
+  Scenario base;
+  std::string error;
+  if (!LoadScenarioFile(base_path, &base, &error)) {
+    std::fprintf(stderr, "fuzz_run: %s\n", error.c_str());
+    return 2;
+  }
+  if (!ProbeLegal(base, &error)) {
+    std::fprintf(stderr, "fuzz_run: %s: illegal scenario: %s\n",
+                 base_path.c_str(), error.c_str());
+    return 2;
+  }
+  CoverageVector cumulative;
+  int finds = 0;
+  for (int i = 0; i < count; ++i) {
+    const uint64_t seed = seed0 + static_cast<uint64_t>(i);
+    const Scenario m = MutateScenario(base, seed);
+    const OracleReport report = RunOracle(m);
+    MergeCoverage(&cumulative, report.coverage);
+    if (report.failed()) {
+      ShrinkAndReport(m, report, out_dir);
+      ++finds;
+    }
+  }
+  std::printf("fuzz_run: cumulative %s over %d mutant(s) of %s\n",
+              CoverageSummary(cumulative).c_str(), count, base_path.c_str());
+  if (finds != 0) {
+    std::fprintf(stderr, "fuzz_run: %d mutant(s) FAILED out of %d\n", finds,
+                 count);
+    return 1;
+  }
+  std::printf("fuzz_run: OK — %d mutants of %s, all oracles clean\n", count,
+              base_path.c_str());
+  return 0;
+}
+
+// The guided-generation gate: at an equal budget of single coverage-probe
+// runs over the same seed range, the frontier-guided generator must cover
+// strictly more catalogue points than the blind one. Deterministic: same
+// seeds, same scenarios, same verdict forever.
+int CovCheckGate(uint64_t seed0, int count) {
+  CoverageVector blind;
+  for (int i = 0; i < count; ++i) {
+    const Scenario s = GenerateScenario(seed0 + static_cast<uint64_t>(i));
+    MergeCoverage(&blind, RunCoverageOnce(s));
+  }
+  CoverageVector guided;
+  for (int i = 0; i < count; ++i) {
+    const Scenario s =
+        GenerateScenarioBiased(seed0 + static_cast<uint64_t>(i), guided);
+    MergeCoverage(&guided, RunCoverageOnce(s));
+  }
+  const int blind_points = CoveredPoints(blind);
+  const int guided_points = CoveredPoints(guided);
+  std::printf("fuzz_run: blind  %s\n", CoverageSummary(blind).c_str());
+  std::printf("fuzz_run: guided %s\n", CoverageSummary(guided).c_str());
+  if (guided_points <= blind_points) {
+    std::fprintf(stderr,
+                 "fuzz_run: cov-check FAILED: guided generation covered %d "
+                 "point(s) vs blind %d at %d runs each — the bias loop is "
+                 "not steering\n",
+                 guided_points, blind_points, count);
+    return 1;
+  }
+  std::printf("fuzz_run: cov-check OK — guided %d > blind %d point(s) at "
+              "%d runs each (seeds %llu..%llu)\n",
+              guided_points, blind_points, count,
+              static_cast<unsigned long long>(seed0),
+              static_cast<unsigned long long>(seed0 + count - 1));
   return 0;
 }
 
@@ -248,11 +383,26 @@ int Replay(const std::vector<std::string>& paths) {
       return 2;
     }
     const OracleReport report = RunOracle(s);
-    std::printf("fuzz_run: %s: %s%s%s (end %lld ns)\n", path.c_str(),
+    std::printf("fuzz_run: %s: %s%s%s (end %lld ns, %s)\n", path.c_str(),
                 ToString(report.verdict), report.failed() ? " — " : "",
                 report.failed() ? report.detail.c_str() : "",
-                static_cast<long long>(report.end_time));
+                static_cast<long long>(report.end_time),
+                CoverageSummary(report.coverage).c_str());
     if (report.failed()) return 1;
+    // Corpus gate (docs/FUZZING.md): every checked-in scenario must reach at
+    // least one catalogue point and reach the same ones on both oracle runs.
+    if (CoveredPoints(report.coverage) <= 0) {
+      std::fprintf(stderr, "fuzz_run: %s: coverage vector empty\n",
+                   path.c_str());
+      return 1;
+    }
+    if (!report.coverage_stable) {
+      std::fprintf(stderr,
+                   "fuzz_run: %s: coverage vector not bit-stable across the "
+                   "double run\n",
+                   path.c_str());
+      return 1;
+    }
   }
   return 0;
 }
@@ -260,9 +410,13 @@ int Replay(const std::vector<std::string>& paths) {
 int Usage() {
   std::fprintf(stderr,
                "usage: fuzz_run --smoke [--seed S] [--count N] [--out DIR]\n"
+               "                [--frontier-in F] [--frontier-out F]\n"
                "       fuzz_run --canary [--seed S] [--count N] [--out DIR]\n"
                "       fuzz_run --gen <seed>\n"
                "       fuzz_run --replay <file>...\n"
+               "       fuzz_run --mutate <file> [--seed S] [--count N] "
+               "[--out DIR]\n"
+               "       fuzz_run --cov-check [--seed S] [--count N]\n"
                "       fuzz_run --fairness-canary <file>...\n");
   return 2;
 }
@@ -279,9 +433,14 @@ int main(int argc, char** argv) {
     kCanary,
     kGen,
     kReplay,
+    kMutate,
+    kCovCheck,
     kFairnessCanary,
   } mode = Mode::kNone;
   uint64_t gen_seed = 0;
+  std::string mutate_path;
+  std::string frontier_in;
+  std::string frontier_out;
   std::vector<std::string> replay_paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -294,6 +453,12 @@ int main(int argc, char** argv) {
       gen_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--replay") == 0) {
       mode = Mode::kReplay;
+    } else if (std::strcmp(argv[i], "--mutate") == 0 && i + 1 < argc) {
+      mode = Mode::kMutate;
+      mutate_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cov-check") == 0) {
+      mode = Mode::kCovCheck;
+      count = 40;  // single runs, not double: a lighter default budget
     } else if (std::strcmp(argv[i], "--fairness-canary") == 0) {
       mode = Mode::kFairnessCanary;
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
@@ -302,6 +467,10 @@ int main(int argc, char** argv) {
       count = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--frontier-in") == 0 && i + 1 < argc) {
+      frontier_in = argv[++i];
+    } else if (std::strcmp(argv[i], "--frontier-out") == 0 && i + 1 < argc) {
+      frontier_out = argv[++i];
     } else if ((mode == Mode::kReplay || mode == Mode::kFairnessCanary) &&
                argv[i][0] != '-') {
       replay_paths.push_back(argv[i]);
@@ -313,7 +482,7 @@ int main(int argc, char** argv) {
   switch (mode) {
     case Mode::kSmoke:
       if (count < 1) return Usage();
-      return Sweep(seed, count, out_dir);
+      return Sweep(seed, count, out_dir, frontier_in, frontier_out);
     case Mode::kCanary:
       if (count < 1) return Usage();
       return CanaryHunt(seed, count, out_dir);
@@ -325,6 +494,12 @@ int main(int argc, char** argv) {
     case Mode::kReplay:
       if (replay_paths.empty()) return Usage();
       return Replay(replay_paths);
+    case Mode::kMutate:
+      if (count < 1) return Usage();
+      return MutateSweep(mutate_path, seed, count, out_dir);
+    case Mode::kCovCheck:
+      if (count < 1) return Usage();
+      return CovCheckGate(seed, count);
     case Mode::kFairnessCanary:
       if (replay_paths.empty()) return Usage();
       return FairnessCanary(replay_paths);

@@ -65,6 +65,10 @@ const std::vector<RuleDef>& AllRules() {
       {"trace-pairing", "observability",
        "VSCALE_TRACE_BEGIN/END slice names balance within each file",
        rules::TracePairing},
+      {"cov-docs", "observability",
+       "every coverage-point name in the kCoverPointNames catalogue table "
+       "appears in the docs",
+       rules::CovDocs},
       // validate
       {"validate-before-use", "validate",
        "a constructor or Run* function taking a Validate()-bearing config "

@@ -30,6 +30,7 @@ void StallHook(const Project&, std::vector<Finding>*);
 void MetricDocs(const Project&, std::vector<Finding>*);
 void TraceDocs(const Project&, std::vector<Finding>*);
 void TracePairing(const Project&, std::vector<Finding>*);
+void CovDocs(const Project&, std::vector<Finding>*);
 
 // validate family
 void ValidateBeforeUse(const Project&, std::vector<Finding>*);

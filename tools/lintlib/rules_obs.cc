@@ -10,6 +10,10 @@
 //                    exporter closes dangling slices silently, so an
 //                    unbalanced pair renders as a plausible-but-wrong
 //                    timeline instead of an error.
+//   cov-docs       — every coverage-point name in a kCoverPointNames catalogue
+//                    table in src/ must appear in the docs: frontier files,
+//                    cov_report output, and the baseline gate all speak these
+//                    names (docs/FUZZING.md keeps the catalogue).
 
 #include <array>
 #include <map>
@@ -128,6 +132,51 @@ void TraceDocs(const Project& project, std::vector<Finding>* out) {
         break;  // only the first string literal is the event name
       }
       t = close;
+    }
+  }
+}
+
+// The coverage catalogue (src/obs/coverage.cc) is a name table the whole
+// coverage plane keys on: frontier files, tests/coverage.baseline, and
+// cov_report all parse these strings. A renamed or added point that never
+// makes it into the docs breaks the "frontier files are self-describing"
+// contract, so every string literal inside a kCoverPointNames initializer
+// must appear verbatim in the docs.
+void CovDocs(const Project& project, std::vector<Finding>* out) {
+  for (const ParsedFile& pf : project.files) {
+    if (!InSrc(pf.src.rel)) continue;
+    const std::vector<Token>& toks = pf.src.tokens;
+    for (size_t t = 0; t < toks.size(); ++t) {
+      if (toks[t].kind != Token::kIdent || toks[t].text != "kCoverPointNames") {
+        continue;
+      }
+      // Advance to the initializer's opening brace (skipping the array-size
+      // brackets and '=' between the name and the '{').
+      size_t open = t + 1;
+      while (open < toks.size() &&
+             !(toks[open].kind == Token::kPunct && toks[open].text == "{") &&
+             !(toks[open].kind == Token::kPunct && toks[open].text == ";")) {
+        ++open;
+      }
+      if (open >= toks.size() || toks[open].text != "{") continue;
+      int depth = 1;
+      size_t j = open + 1;
+      for (; j < toks.size() && depth > 0; ++j) {
+        if (toks[j].kind == Token::kPunct) {
+          if (toks[j].text == "{") ++depth;
+          if (toks[j].text == "}") --depth;
+          continue;
+        }
+        if (toks[j].kind != Token::kString) continue;
+        const std::string& name = toks[j].text;
+        if (project.docs_text.find(name) != std::string::npos) continue;
+        out->push_back({pf.src.rel, toks[j].line, "cov-docs",
+                        "coverage point '" + name +
+                            "' is in the catalogue table but appears nowhere "
+                            "in the docs; add it to the coverage catalogue in "
+                            "docs/FUZZING.md"});
+      }
+      t = j;
     }
   }
 }

@@ -249,6 +249,20 @@ int RunSelfTest(bool full) {
         "  VSCALE_TRACE_END(\"phase\");\n"
         "}\n"}},
       "trace events: phase\n", All(), {});
+  const char* kCovTable =
+      "const char* const kCoverPointNames[2] = {\n"
+      "    \"fault.channel_stale\",\n"
+      "    \"shape.policy_vscale\",\n"
+      "};\n";
+  failures += Expect("cov-undocumented",
+                     {{"src/obs/coverage.cc", kCovTable}},
+                     "coverage: `fault.channel_stale` only\n", All(),
+                     {"cov-docs"});
+  failures += Expect("cov-documented", {{"src/obs/coverage.cc", kCovTable}},
+                     "| `fault.channel_stale` |\n| `shape.policy_vscale` |\n",
+                     All(), {});
+  failures += Expect("cov-outside-src-exempt",
+                     {{"tools/cov_mirror.cc", kCovTable}}, "", All(), {});
 
   // --- validate -------------------------------------------------------------
   const char* kConfig =

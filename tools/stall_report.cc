@@ -5,6 +5,11 @@
 //   stall_report <stall.csv> --collapsed   collapsed-stack lines
 //                                          (run;domN;vcpuN;bucket cum_ns) for
 //                                          flamegraph.pl / speedscope
+//   stall_report <stall.csv> --json        per-run/per-domain blame totals as
+//                                          flat JSON (the tools/flat_json.h
+//                                          schema bench_diff consumes): dotted
+//                                          keys runs.<run>.dom<D>.<bucket>_ns
+//                                          plus wall_ns / sched_stall_ns
 //   stall_report <stall.csv> --fairness [--weights 0=768,1=256] [--eps 0.25]
 //                                          per-domain CPU share vs weight
 //                                          entitlement (docs/ADVERSARIAL.md);
@@ -23,6 +28,7 @@
 #include <sstream>
 
 #include "src/obs/stall_report.h"
+#include "tools/flat_json.h"
 
 namespace vscale {
 namespace {
@@ -99,6 +105,37 @@ bool ParseWeights(const std::string& spec,
     }
   }
   return !out->empty();
+}
+
+// Flat-JSON export of the per-domain blame totals: a machine-readable twin of
+// the blame tables, in the flat schema tools/flat_json.h parses (string or
+// numeric leaves, nesting only as grouping) so bench_diff and scripts can
+// consume stall decompositions without a CSV parser. Keys flatten to
+// "runs.<run>.dom<D>.<bucket>_ns" and run labels are emitted verbatim —
+// StallAccountant labels are sanitized metric names, already JSON-safe.
+void WriteJsonReport(const StallSeries& series, std::ostream& os) {
+  const auto domains = BuildDomainBlame(BuildVcpuBlame(series));
+  os << "{\n  \"schema\": \"vscale-stall-report-v1\",\n  \"runs\": {";
+  bool first_run = true;
+  for (const std::string& run : series.runs) {
+    os << (first_run ? "\n" : ",\n") << "    \"" << run << "\": {";
+    first_run = false;
+    bool first_dom = true;
+    for (const DomainBlame& d : domains) {
+      if (d.run != run) continue;
+      os << (first_dom ? "\n" : ",\n") << "      \"dom" << d.domain << "\": {\n";
+      first_dom = false;
+      os << "        \"vcpus\": " << d.vcpus << ",\n";
+      for (int b = 0; b < kStallBucketCount; ++b) {
+        os << "        \"" << ToString(static_cast<StallBucket>(b))
+           << "_ns\": " << d.ns[b] << ",\n";
+      }
+      os << "        \"wall_ns\": " << d.WallNs() << ",\n";
+      os << "        \"sched_stall_ns\": " << d.SchedStallNs() << "\n      }";
+    }
+    os << "\n    }";
+  }
+  os << "\n  }\n}\n";
 }
 
 #define ST_CHECK(cond)                                                    \
@@ -195,6 +232,25 @@ int SelfTest() {
     ST_CHECK(!ParseWeights("", &weights));
   }
 
+  // JSON export: must parse back through the repo's own flat-JSON reader with
+  // the totals the blame tables computed (dom0 base: 500000+400000 running).
+  {
+    std::stringstream jin(kSyntheticCsv);
+    StallSeries jseries;
+    ST_CHECK(LoadStallCsv(jin, &jseries, &error));
+    std::stringstream json;
+    WriteJsonReport(jseries, json);
+    FlatJson flat;
+    ST_CHECK(ParseFlatJson(json.str(), &flat, &error));
+    ST_CHECK(flat.at("schema").text == "vscale-stall-report-v1");
+    ST_CHECK(flat.at("runs.base.dom0.running_ns").number == 900000.0);
+    ST_CHECK(flat.at("runs.base.dom0.lhp_spinning_ns").number == 350000.0);
+    ST_CHECK(flat.at("runs.vscale.dom0.frozen_ns").number == 850000.0);
+    ST_CHECK(flat.at("runs.base.dom0.vcpus").number == 2.0);
+    ST_CHECK(flat.at("runs.base.dom0.wall_ns").number == 2000000.0);
+    ST_CHECK(flat.count("runs.base.dom0.sched_stall_ns") == 1);
+  }
+
   // Malformed inputs must be rejected, not misread.
   std::stringstream bad_header("nope\n");
   ST_CHECK(!LoadStallCsv(bad_header, &series, &error));
@@ -210,7 +266,7 @@ int SelfTest() {
 }
 
 const char kUsage[] =
-    "usage: stall_report <stall.csv> [--top N] [--collapsed]\n"
+    "usage: stall_report <stall.csv> [--top N] [--collapsed] [--json]\n"
     "       stall_report <stall.csv> --fairness [--weights 0=768,1=256] "
     "[--eps 0.25]\n";
 
@@ -218,6 +274,7 @@ int Run(int argc, char** argv) {
   std::string path;
   int top_n = 10;
   bool collapsed = false;
+  bool json = false;
   bool fairness = false;
   double eps = 0.25;
   std::vector<std::pair<int, int64_t>> weights;
@@ -230,6 +287,8 @@ int Run(int argc, char** argv) {
       ++i;
     } else if (std::strcmp(argv[i], "--collapsed") == 0) {
       collapsed = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (std::strcmp(argv[i], "--fairness") == 0) {
       fairness = true;
     } else if (std::strcmp(argv[i], "--eps") == 0 && i + 1 < argc) {
@@ -269,7 +328,9 @@ int Run(int argc, char** argv) {
     // CI-friendly: a flagged domain is a non-zero exit, like --check modes.
     return PrintFairnessReport(series, weights, eps, std::cout) > 0 ? 1 : 0;
   }
-  if (collapsed) {
+  if (json) {
+    WriteJsonReport(series, std::cout);
+  } else if (collapsed) {
     // Collapsed-stack lines for flamegraph.pl / speedscope; pipe to a file and
     // feed the viewer directly.
     WriteCollapsedStacks(series, std::cout);
