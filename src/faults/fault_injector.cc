@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/check.h"
 #include "src/base/trace.h"
 #include "src/obs/coverage.h"
 
@@ -26,6 +27,12 @@ void FaultInjector::Arm() {
 }
 
 int64_t FaultInjector::Magnitude(FaultKind kind) const {
+  // A magnitude only means anything inside an active window: outside one, the
+  // scan below silently falls back to DefaultMagnitude even when the plan
+  // carries a (stale, expired) magnitude for the kind. Every call site gates on
+  // Active() first; hold them to it in checked builds.
+  VS_INVARIANT(Active(kind), "Magnitude(%s) queried outside an active window",
+               ToString(kind));
   const TimeNs now = sim_.Now();
   int64_t best = 0;
   for (const FaultEvent& ev : plan_.events) {

@@ -5,30 +5,6 @@
 
 namespace vscale {
 
-const char* ToString(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kChannelStale:
-      return "chan-stale";
-    case FaultKind::kChannelGarbled:
-      return "chan-garble";
-    case FaultKind::kChannelFail:
-      return "chan-fail";
-    case FaultKind::kLatencySpike:
-      return "latency";
-    case FaultKind::kDaemonStall:
-      return "stall";
-    case FaultKind::kDaemonCrash:
-      return "crash";
-    case FaultKind::kFreezeFail:
-      return "freeze-fail";
-    case FaultKind::kFreezeHang:
-      return "freeze-hang";
-    case FaultKind::kStealBurst:
-      return "steal";
-  }
-  return "?";
-}
-
 int64_t DefaultMagnitude(FaultKind kind) {
   switch (kind) {
     case FaultKind::kLatencySpike:
@@ -37,6 +13,12 @@ int64_t DefaultMagnitude(FaultKind kind) {
       return 50;  // 50x master-side op cost
     case FaultKind::kStealBurst:
       return 1;   // one pCPU stolen
+    case FaultKind::kIpiDup:
+      return 1;   // one extra delivery
+    case FaultKind::kIpiDelay:
+      return 10;  // 10x ipi_deliver_cost deferral
+    case FaultKind::kPortMask:
+      return 2;   // masked port = magnitude - 1 -> kPortFreeze
     default:
       return 1;
   }
@@ -45,14 +27,8 @@ int64_t DefaultMagnitude(FaultKind kind) {
 namespace {
 
 bool ParseKind(const std::string& word, FaultKind* out) {
-  static constexpr FaultKind kAll[] = {
-      FaultKind::kChannelStale, FaultKind::kChannelGarbled,
-      FaultKind::kChannelFail,  FaultKind::kLatencySpike,
-      FaultKind::kDaemonStall,  FaultKind::kDaemonCrash,
-      FaultKind::kFreezeFail,   FaultKind::kFreezeHang,
-      FaultKind::kStealBurst,
-  };
-  for (FaultKind k : kAll) {
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    const FaultKind k = static_cast<FaultKind>(i);
     if (word == ToString(k)) {
       *out = k;
       return true;

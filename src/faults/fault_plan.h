@@ -31,11 +31,75 @@ enum class FaultKind {
   kFreezeFail,     // freeze/unfreeze ops fail after charging their syscall entry cost
   kFreezeHang,     // freeze/unfreeze ops complete but cost `magnitude`x the normal time
   kStealBurst,     // `magnitude` pCPUs stolen from the pool (other-pool interference)
+  kIpiDrop,        // guest-interior notification silently lost (send charged, no delivery)
+  kIpiDup,         // notification delivered `magnitude` extra times back to back
+  kIpiDelay,       // delivery deferred by `magnitude`x the ipi_deliver cost
+  kPortMask,       // evtchn port `magnitude - 1` stays masked; pending coalesces,
+                   // one flush per (cpu, port) when the window closes
 };
 
-inline constexpr int kNumFaultKinds = 9;
+// Derived, not hand-maintained: appending an enumerator above grows every
+// per-kind array (FaultInjector::active_, the coverage fault block) in lockstep.
+inline constexpr FaultKind kMaxFaultKind = FaultKind::kPortMask;
+inline constexpr int kNumFaultKinds = static_cast<int>(kMaxFaultKind) + 1;
 
-const char* ToString(FaultKind kind);
+// Constexpr so the static_assert below can prove at compile time that every
+// enumerator has a spec token — a new kind without one fails the build instead
+// of silently rendering "?" and breaking the Parse(ToString()) round-trip.
+constexpr const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kChannelStale:
+      return "chan-stale";
+    case FaultKind::kChannelGarbled:
+      return "chan-garble";
+    case FaultKind::kChannelFail:
+      return "chan-fail";
+    case FaultKind::kLatencySpike:
+      return "latency";
+    case FaultKind::kDaemonStall:
+      return "stall";
+    case FaultKind::kDaemonCrash:
+      return "crash";
+    case FaultKind::kFreezeFail:
+      return "freeze-fail";
+    case FaultKind::kFreezeHang:
+      return "freeze-hang";
+    case FaultKind::kStealBurst:
+      return "steal";
+    case FaultKind::kIpiDrop:
+      return "ipi-drop";
+    case FaultKind::kIpiDup:
+      return "ipi-dup";
+    case FaultKind::kIpiDelay:
+      return "ipi-delay";
+    case FaultKind::kPortMask:
+      return "port-mask";
+  }
+  return "?";
+}
+
+namespace fault_internal {
+constexpr bool AllFaultKindsNamed() {
+  for (int i = 0; i < kNumFaultKinds; ++i) {
+    const char* name = ToString(static_cast<FaultKind>(i));
+    if (name == nullptr || name[0] == '?') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace fault_internal
+
+static_assert(fault_internal::AllFaultKindsNamed(),
+              "ToString(FaultKind) must cover every enumerator");
+
+// The guest-interior delivery fault domain (src/guest/kernel.cc NotifyVcpu):
+// the kinds the delivery hardening suite and the kNotificationLost oracle key
+// on, as one predicate so the block stays contiguous by construction.
+constexpr bool IsDeliveryFault(FaultKind kind) {
+  return kind == FaultKind::kIpiDrop || kind == FaultKind::kIpiDup ||
+         kind == FaultKind::kIpiDelay || kind == FaultKind::kPortMask;
+}
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kChannelFail;
@@ -93,7 +157,8 @@ struct FaultPlan {
 // Parses a plan spec string: `;`-separated events of the form
 //   <kind>@<start><unit>+<duration><unit>[*<magnitude>]
 // with kinds chan-stale | chan-garble | chan-fail | latency | stall | crash |
-// freeze-fail | freeze-hang | steal and units ns/us/ms/s, e.g.
+// freeze-fail | freeze-hang | steal | ipi-drop | ipi-dup | ipi-delay |
+// port-mask and units ns/us/ms/s, e.g.
 //   "stall@500ms+200ms;chan-fail@1s+300ms;steal@2s+100ms*2"
 // Returns false (with *error set) on malformed input; `out` is untouched on failure.
 bool ParseFaultPlan(const std::string& spec, FaultPlan* out, std::string* error);

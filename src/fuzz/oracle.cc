@@ -37,6 +37,8 @@ struct RunOutcome {
   int64_t watchdog_recoveries = 0;
   bool fairness_violated = false;
   std::string fairness_detail;
+  bool notification_lost = false;
+  std::string notification_detail;
   TimeNs end_time = 0;
 };
 
@@ -149,6 +151,52 @@ RunOutcome RunScenarioOnce(const Scenario& s, uint64_t testbed_seed) {
       out.watchdog_recoveries = bed.watchdog()->recoveries();
     }
 
+    // Notification-lost oracle (docs/FAULTS.md): armed only when the scenario
+    // plans a delivery fault AND arms delivery hardening — the unhardened
+    // kernel wedging is the documented baseline; a hardened one must have
+    // reconverged by end of run. The end state is settled, not mid-flight:
+    // every fault window closed >= 2 s ago (min_end above), and an in-flight
+    // notification would have left its target vCPU runnable, not blocked.
+    bool delivery_armed = s.config.hardening.AnyDeliveryEnabled();
+    if (delivery_armed) {
+      bool plans_delivery = false;
+      for (const FaultEvent& ev : s.config.faults.events) {
+        plans_delivery = plans_delivery || IsDeliveryFault(ev.kind);
+      }
+      delivery_armed = plans_delivery;
+    }
+    if (delivery_armed) {
+      const GuestKernel& k = bed.primary();
+      const uint64_t guest_mask = k.freeze_mask();
+      const uint64_t hv_mask = bed.primary_domain().hv_freeze_mask();
+      if (guest_mask != hv_mask) {
+        out.notification_lost = true;
+        out.notification_detail =
+            "guest cpu_freeze_mask " + std::to_string(guest_mask) +
+            " != hypervisor freeze mask " + std::to_string(hv_mask) +
+            " at end of run";
+      }
+      for (int i = 0; i < k.n_cpus() && !out.notification_lost; ++i) {
+        const GuestCpu& c = k.cpu(i);
+        const Vcpu& v = bed.primary_domain().vcpu(i);
+        if (c.evacuate_pending && v.state == VcpuState::kBlocked &&
+            c.freeze_resends_left == 0) {
+          out.notification_lost = true;
+          out.notification_detail =
+              "cpu" + std::to_string(i) +
+              " wedged mid-freeze: evacuate pending, hv-blocked, resend "
+              "budget spent";
+        } else if (!c.frozen && v.state == VcpuState::kBlocked && !v.polling &&
+                   !c.runq.empty()) {
+          out.notification_lost = true;
+          out.notification_detail =
+              "cpu" + std::to_string(i) + " hv-blocked with " +
+              std::to_string(c.runq.size()) +
+              " runnable thread(s) queued (lost wakeup never rescued)";
+        }
+      }
+    }
+
     // Theft beyond a sliver of pool capacity means a mitigation that claimed
     // to neutralize this attacker did not. The windowed probe already ruled
     // out work conservation (overage only counts when victims were
@@ -237,6 +285,8 @@ const char* ToString(OracleVerdict v) {
       return "invariant-violation";
     case OracleVerdict::kStallNonExhaustive:
       return "stall-non-exhaustive";
+    case OracleVerdict::kNotificationLost:
+      return "notification-lost";
     case OracleVerdict::kNonTermination:
       return "non-termination";
     case OracleVerdict::kWatchdogNoRecovery:
@@ -280,6 +330,11 @@ OracleReport RunOracle(const Scenario& s) {
     report.detail = std::to_string(run1.stall_failures) +
                     " exhaustiveness failure(s) in " +
                     std::to_string(run1.stall_samples) + " samples";
+    return report;
+  }
+  if (run1.notification_lost) {
+    report.verdict = OracleVerdict::kNotificationLost;
+    report.detail = run1.notification_detail;
     return report;
   }
   if (!run1.terminated) {

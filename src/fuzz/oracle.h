@@ -6,6 +6,17 @@
 //                         shrinker can keep going)
 //   kStallNonExhaustive   the StallAccountant's per-tick exhaustiveness check
 //                         found simulated time outside the bucket partition
+//   kNotificationLost     the run ended with the freeze protocol's views torn
+//                         apart: guest cpu_freeze_mask vs hypervisor frozen
+//                         bits disagree, a freeze handshake is still wedged
+//                         mid-evacuation with its resend budget spent, or a
+//                         vCPU sits hypervisor-blocked with runnable threads
+//                         queued (a lost wakeup nothing rescued). Armed only
+//                         when the scenario plans a delivery fault
+//                         (kIpiDrop/kIpiDup/kIpiDelay/kPortMask) AND arms any
+//                         delivery hardening — an unhardened kernel wedging is
+//                         the documented baseline, a hardened one must
+//                         reconverge (docs/FAULTS.md)
 //   kNonTermination       the workload mix did not complete by the scenario
 //                         horizon (hang, livelock, or a collapsed scheduler)
 //   kWatchdogNoRecovery   the daemon-liveness watchdog tripped and the stack
@@ -40,6 +51,7 @@ enum class OracleVerdict {
   kPass = 0,
   kInvariantViolation,
   kStallNonExhaustive,
+  kNotificationLost,
   kNonTermination,
   kWatchdogNoRecovery,
   kFairnessViolation,

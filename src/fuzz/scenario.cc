@@ -287,6 +287,21 @@ std::string Scenario::ToString() const {
   if (config.hardening.plausibility_clamp) {
     out += "hardening.plausibility_clamp 1\n";
   }
+  if (config.hardening.ipi_dedup) {
+    out += "hardening.ipi_dedup 1\n";
+  }
+  if (config.hardening.freeze_resend_ns > 0) {
+    out += "hardening.freeze_resend_ns " + I64(config.hardening.freeze_resend_ns) +
+           '\n';
+  }
+  if (config.hardening.tick_rescue) {
+    out += "hardening.tick_rescue 1\n";
+  }
+  if (config.hardening.reconciler) {
+    out += "hardening.reconciler 1\n";
+    out += "reconciler.check_ns " + I64(config.reconciler.check_period) + '\n';
+    out += "reconciler.grace_ns " + I64(config.reconciler.grace) + '\n';
+  }
   out += "fault_seed " + std::to_string(config.faults.seed) + '\n';
   if (!config.faults.empty()) {
     out += "faults " + config.faults.ToString() + '\n';
@@ -397,6 +412,18 @@ bool ParseScenario(const std::string& text, Scenario* out, std::string* error) {
       s.config.hardening.waited_cap_ratio = static_cast<double>(num) / 100.0;
     } else if (key == "hardening.plausibility_clamp") {
       s.config.hardening.plausibility_clamp = num != 0;
+    } else if (key == "hardening.ipi_dedup") {
+      s.config.hardening.ipi_dedup = num != 0;
+    } else if (key == "hardening.freeze_resend_ns") {
+      s.config.hardening.freeze_resend_ns = num;
+    } else if (key == "hardening.tick_rescue") {
+      s.config.hardening.tick_rescue = num != 0;
+    } else if (key == "hardening.reconciler") {
+      s.config.hardening.reconciler = num != 0;
+    } else if (key == "reconciler.check_ns") {
+      s.config.reconciler.check_period = num;
+    } else if (key == "reconciler.grace_ns") {
+      s.config.reconciler.grace = num;
     } else {
       return fail("unknown key \"" + key + "\"");
     }

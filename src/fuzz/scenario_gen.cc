@@ -91,6 +91,19 @@ FaultEvent DrawFault(Rng& rng, int pool_pcpus) {
       // and the liveness oracle would blame the victim scenario.
       ev.magnitude = rng.UniformInt(1, std::max(1, pool_pcpus - 1));
       break;
+    case FaultKind::kIpiDup:
+      ev.magnitude = rng.UniformInt(1, 4);  // extra deliveries per send
+      break;
+    case FaultKind::kIpiDelay:
+      ev.magnitude = rng.UniformInt(5, 50);  // x ipi_deliver_cost
+      break;
+    case FaultKind::kPortMask: {
+      // magnitude - 1 is the masked port; only the faultable ports matter
+      // (resched=0, freeze=1, timer=3 -> magnitudes 1, 2, 4).
+      static constexpr int64_t kMaskable[] = {1, 2, 4};
+      ev.magnitude = kMaskable[rng.NextBelow(3)];
+      break;
+    }
     default:
       ev.magnitude = 0;  // kind default
   }
@@ -139,6 +152,26 @@ void DrawHardening(Rng& rng, HardeningConfig* h) {
   h->boost_budget = static_cast<int>(rng.UniformInt(1, 3));
   h->waited_cap_ratio = 2.0;
   h->plausibility_clamp = true;
+}
+
+// The delivery-hardening suite, drawn when a scenario plans delivery faults
+// (kIpiDrop/kIpiDup/kIpiDelay/kPortMask): hardened cells arm the
+// kNotificationLost oracle — a lost notification must degrade to latency, not
+// wedge the freeze protocol (docs/FAULTS.md).
+void DrawDeliveryHardening(Rng& rng, HardeningConfig* h) {
+  h->ipi_dedup = true;
+  h->freeze_resend_ns = Milliseconds(rng.UniformInt(2, 10));
+  h->tick_rescue = true;
+  h->reconciler = true;
+}
+
+bool PlansDeliveryFault(const Scenario& s) {
+  for (const FaultEvent& ev : s.config.faults.events) {
+    if (IsDeliveryFault(ev.kind)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -214,6 +247,17 @@ Scenario GenerateScenario(uint64_t seed) {
   }
   s.config.faults.seed = fault_rng.NextU64();
 
+  // Every cell that plans a delivery fault arms the delivery-hardening suite:
+  // the stock kernel wedging on a dropped freeze/wake IPI is the *documented*
+  // baseline (bench_chaos_recovery's negative control and the pinned
+  // chaos_test twin assert it still does), so generating stock+delivery cells
+  // would only rediscover it through the liveness/watchdog oracles. Hardened
+  // cells instead arm kNotificationLost, which is the real fuzz target: a lost
+  // notification must degrade to latency, never wedge.
+  if (PlansDeliveryFault(s) && !s.config.hardening.AnyDeliveryEnabled()) {
+    DrawDeliveryHardening(adv, &s.config.hardening);
+  }
+
   s.horizon = ComputeHorizon(s);
 
   s.Validate();
@@ -275,6 +319,12 @@ Scenario MutateScenario(const Scenario& base, uint64_t seed) {
             static_cast<long>(fault_rng.NextBelow(n)));
       }
       s.config.faults.seed = fault_rng.NextU64();
+      // Same pairing rule as generation: a plan that now carries a delivery
+      // fault always arms the delivery-hardening suite (stock wedging is the
+      // documented baseline, not a fuzz target).
+      if (PlansDeliveryFault(s) && !s.config.hardening.AnyDeliveryEnabled()) {
+        DrawDeliveryHardening(fault_rng, &s.config.hardening);
+      }
       break;
     }
     case 4: {  // adversarial block: add an antagonist, drop it, or flip armor
@@ -319,6 +369,12 @@ Scenario MutateScenario(const Scenario& base, uint64_t seed) {
     if (ev.kind == FaultKind::kStealBurst && ev.magnitude > 0) {
       ev.magnitude = std::min<int64_t>(ev.magnitude,
                                        std::max(1, s.config.pool_pcpus - 1));
+    }
+    if (ev.kind == FaultKind::kPortMask && ev.magnitude != 0 &&
+        ev.magnitude != 1 && ev.magnitude != 2 && ev.magnitude != 4) {
+      // magnitude - 1 must name a faultable port (resched/freeze/timer);
+      // anything else masks nothing — snap to the freeze port, the default.
+      ev.magnitude = 2;
     }
   }
   for (AntagonistConfig& a : s.config.antagonists) {

@@ -10,6 +10,8 @@
 #include "src/base/check.h"
 #include "src/base/log.h"
 #include "src/base/trace.h"
+#include "src/faults/fault_injector.h"
+#include "src/obs/coverage.h"
 #include "src/obs/stall_accounting.h"
 
 namespace vscale {
@@ -22,6 +24,7 @@ GuestKernel::GuestKernel(HvServices& hv, Simulator& sim, Domain& domain,
       config_(config),
       cost_(DefaultCostModel()) {
   cpus_.resize(static_cast<size_t>(domain.n_vcpus()));
+  masked_pending_.resize(static_cast<size_t>(domain.n_vcpus()), 0);
   for (int i = 0; i < domain.n_vcpus(); ++i) {
     cpus_[static_cast<size_t>(i)].id = i;
   }
@@ -205,6 +208,19 @@ void GuestKernel::OnDeadline(VcpuId vcpu) {
 void GuestKernel::DeliverEvent(VcpuId vcpu, EvtchnPort port) {
   GuestCpu& c = cpus_[static_cast<size_t>(vcpu)];
   if (port == kPortResched || port == kPortFreeze) {
+    if (config_.ipi_dedup) {
+      // Idempotent duplicate handling: a second resched/freeze IPI landing at
+      // the same instant on the same port did all its work the first time —
+      // absorb it instead of charging ipi_deliver_cost again (kIpiDup, and the
+      // back-to-back drain of a stacked pending queue, hit exactly this shape).
+      if (c.last_ipi_at == hv_.Now() && c.last_ipi_port == port) {
+        ++dup_ipis_ignored_;
+        VS_COVER(OnIpiDedup());
+        return;
+      }
+      c.last_ipi_at = hv_.Now();
+      c.last_ipi_port = port;
+    }
     ++c.stats.resched_ipis;
     c.pending_kernel_ns += cost_.ipi_deliver_cost;
     VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "ipi_recv",
@@ -271,6 +287,25 @@ void GuestKernel::HandleTick(GuestCpu& c) {
   if (++c.ticks_since_balance >= config_.ticks_per_balance) {
     c.ticks_since_balance = 0;
     PeriodicBalance(c);
+  }
+  if (config_.tick_rescue) {
+    // Lost-wakeup rescue: a vCPU sitting hypervisor-blocked with runnable
+    // threads queued can only mean its wake notification never arrived (the
+    // enqueue always precedes the IPI). Re-kick it — through NotifyVcpu, so an
+    // active drop window just defers the rescue to the next tick.
+    for (auto& other : cpus_) {
+      if (other.id == c.id || other.frozen || other.evacuate_pending ||
+          other.hv_running || other.current != nullptr || other.runq.empty()) {
+        continue;
+      }
+      const Vcpu& v = domain_.vcpu(other.id);
+      if (v.state != VcpuState::kBlocked || v.polling) {
+        continue;
+      }
+      ++tick_rescues_;
+      VS_COVER(OnTickRescue());
+      SendReschedIpi(c.id, other.id);
+    }
   }
 }
 
@@ -410,7 +445,14 @@ TimeNs GuestKernel::FreezeCpu(int target) {
   // (5) reschedule IPI tickles the target's scheduler to migrate its load.
   c.evacuate_pending = true;
   VSCALE_STALL_HOOK(OnIpiSent(domain_.id(), target, hv_.Now()));
-  hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
+  NotifyVcpu(target, kPortFreeze, /*urgent=*/true);
+  if (config_.freeze_resend_ns > 0) {
+    // Quiescence deadline: if the target has not evacuated by then, the freeze
+    // IPI was lost — re-send with doubling backoff instead of wedging forever.
+    ++c.freeze_epoch;
+    c.freeze_resends_left = kFreezeResendMax;
+    ScheduleFreezeResend(target, config_.freeze_resend_ns, c.freeze_epoch);
+  }
   return cost_.freeze_syscall + cost_.freeze_lock + cost_.freeze_mask_update +
          cost_.freeze_group_power_update + cost_.freeze_hypercall +
          cost_.freeze_resched_ipi;
@@ -425,9 +467,12 @@ TimeNs GuestKernel::UnfreezeCpu(int target) {
   c.evacuate_pending = false;
   UpdateGroupPower();
   hv_.NotifyFreeze(domain_.id(), target, false);
+  if (config_.freeze_resend_ns > 0) {
+    ++c.freeze_epoch;  // retire any resend chain of the superseded freeze
+  }
   // wake_up_idle_cpu(): the target will idle-balance and pull threads over.
   VSCALE_STALL_HOOK(OnIpiSent(domain_.id(), target, hv_.Now()));
-  hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
+  NotifyVcpu(target, kPortFreeze, /*urgent=*/true);
   return cost_.freeze_syscall + cost_.freeze_lock + cost_.freeze_mask_update +
          cost_.freeze_group_power_update + cost_.freeze_hypercall +
          cost_.freeze_resched_ipi;
@@ -483,6 +528,129 @@ void GuestKernel::EvacuateCpu(GuestCpu& c) {
   VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "evacuate",
                            domain_.id(), c.id, -1, "moved",
                            static_cast<int64_t>(to_move.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Guest-interior delivery fault domain (docs/FAULTS.md)
+// ---------------------------------------------------------------------------
+
+void GuestKernel::NotifyVcpu(int target, EvtchnPort port, bool urgent) {
+  if (faults_ != nullptr && FaultablePort(port)) {
+    // Any cpu mid-evacuation means a freeze handshake is in flight: a delivery
+    // fault landing now is the compound the reconciler/resend hardening exists
+    // for, so it gets its own coverage block.
+    const auto freeze_in_flight = [this] {
+      for (const auto& c : cpus_) {
+        if (c.evacuate_pending) {
+          return true;
+        }
+      }
+      return false;
+    };
+    // Precedence, coarse to fine: a masked port coalesces before the
+    // notification exists; then loss, then deferral, then duplication.
+    if (faults_->Active(FaultKind::kPortMask) &&
+        port == static_cast<EvtchnPort>(
+                    faults_->Magnitude(FaultKind::kPortMask) - 1)) {
+      masked_pending_[static_cast<size_t>(target)] |= 1ULL << port;
+      ++delivery_coalesced_;
+      if (freeze_in_flight()) {
+        VS_COVER(OnDeliveryFaultDuringFreeze(static_cast<int>(
+            static_cast<int>(FaultKind::kPortMask) -
+            static_cast<int>(FaultKind::kIpiDrop))));
+      }
+      VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "ipi_masked",
+                               domain_.id(), target, -1, "port", port);
+      return;
+    }
+    if (faults_->Active(FaultKind::kIpiDrop)) {
+      ++delivery_drops_;
+      if (freeze_in_flight()) {
+        VS_COVER(OnDeliveryFaultDuringFreeze(0));
+      }
+      VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "ipi_dropped",
+                               domain_.id(), target, -1, "port", port);
+      return;
+    }
+    if (faults_->Active(FaultKind::kIpiDelay)) {
+      ++delivery_delays_;
+      if (freeze_in_flight()) {
+        VS_COVER(OnDeliveryFaultDuringFreeze(static_cast<int>(
+            static_cast<int>(FaultKind::kIpiDelay) -
+            static_cast<int>(FaultKind::kIpiDrop))));
+      }
+      const TimeNs delay =
+          faults_->Magnitude(FaultKind::kIpiDelay) * cost_.ipi_deliver_cost;
+      VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "ipi_delayed",
+                               domain_.id(), target, -1, "delay_ns", delay);
+      const DomainId dom = domain_.id();
+      sim_.ScheduleAfter(delay, [this, dom, target, port, urgent] {
+        hv_.NotifyEvent(dom, target, port, urgent);
+      });
+      return;
+    }
+    if (faults_->Active(FaultKind::kIpiDup)) {
+      const int64_t extra = faults_->Magnitude(FaultKind::kIpiDup);
+      delivery_dups_ += extra;
+      if (freeze_in_flight()) {
+        VS_COVER(OnDeliveryFaultDuringFreeze(static_cast<int>(
+            static_cast<int>(FaultKind::kIpiDup) -
+            static_cast<int>(FaultKind::kIpiDrop))));
+      }
+      VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "ipi_duped",
+                               domain_.id(), target, -1, "extra", extra);
+      for (int64_t i = 0; i < extra; ++i) {
+        hv_.NotifyEvent(domain_.id(), target, port, urgent);
+      }
+      // Falls through: the original delivery still happens after the dups.
+    }
+  }
+  hv_.NotifyEvent(domain_.id(), target, port, urgent);
+}
+
+void GuestKernel::OnFaultTransition(const FaultEvent& ev, bool began) {
+  if (ev.kind != FaultKind::kPortMask || began) {
+    return;
+  }
+  // Window closed: each pending bit releases exactly one coalesced
+  // notification per (cpu, port) — N masked sends OR into one bit, Xen evtchn
+  // semantics. Routed back through NotifyVcpu so an overlapping window
+  // re-coalesces deterministically.
+  for (auto& c : cpus_) {
+    uint64_t bits = masked_pending_[static_cast<size_t>(c.id)];
+    masked_pending_[static_cast<size_t>(c.id)] = 0;
+    while (bits != 0) {
+      const int port = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      ++delivery_flushes_;
+      NotifyVcpu(c.id, static_cast<EvtchnPort>(port),
+                 /*urgent=*/port == kPortFreeze);
+    }
+  }
+}
+
+void GuestKernel::ScheduleFreezeResend(int target, TimeNs delay, int64_t epoch) {
+  sim_.ScheduleAfter(delay, [this, target, delay, epoch] {
+    GuestCpu& c = cpus_[static_cast<size_t>(target)];
+    // The chain dies when the handshake completed (evacuation ran), the freeze
+    // was superseded (epoch moved), or the resend budget is spent.
+    if (c.freeze_epoch != epoch || !c.frozen || !c.evacuate_pending ||
+        c.freeze_resends_left <= 0) {
+      return;
+    }
+    --c.freeze_resends_left;
+    ++freeze_resends_;
+    VS_COVER(OnFreezeResend());
+    // The master (vCPU0, daemon context) pays for the repeated kick, exactly
+    // like the original freeze_resched_ipi component.
+    cpus_[0].pending_kernel_ns += cost_.freeze_resched_ipi;
+    VSCALE_TRACE_INSTANT_ARG(hv_.Now(), TraceCategory::kGuest, "freeze_resend",
+                             domain_.id(), target, -1, "left",
+                             static_cast<int64_t>(c.freeze_resends_left));
+    VSCALE_STALL_HOOK(OnIpiSent(domain_.id(), target, hv_.Now()));
+    NotifyVcpu(target, kPortFreeze, /*urgent=*/true);
+    ScheduleFreezeResend(target, delay * 2, epoch);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -645,7 +813,7 @@ TimeNs GuestKernel::HotplugRemove(int target, TimeNs modeled_latency) {
   hv_.NotifyFreeze(domain_.id(), target, true);
   c.evacuate_pending = true;
   VSCALE_STALL_HOOK(OnIpiSent(domain_.id(), target, hv_.Now()));
-  hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
+  NotifyVcpu(target, kPortFreeze, /*urgent=*/true);
   return modeled_latency;
 }
 
@@ -663,7 +831,7 @@ TimeNs GuestKernel::HotplugAdd(int target, TimeNs modeled_latency) {
   UpdateGroupPower();
   hv_.NotifyFreeze(domain_.id(), target, false);
   VSCALE_STALL_HOOK(OnIpiSent(domain_.id(), target, hv_.Now()));
-  hv_.NotifyEvent(domain_.id(), target, kPortFreeze, /*urgent=*/true);
+  NotifyVcpu(target, kPortFreeze, /*urgent=*/true);
   return modeled_latency;
 }
 

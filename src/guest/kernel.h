@@ -33,6 +33,9 @@
 
 namespace vscale {
 
+class FaultInjector;
+struct FaultEvent;
+
 // Event-channel port conventions within a domain.
 inline constexpr EvtchnPort kPortResched = 0;     // reschedule IPI
 inline constexpr EvtchnPort kPortFreeze = 1;      // vScale freeze/unfreeze IPI (urgent)
@@ -47,7 +50,30 @@ struct GuestConfig {
   // Pull threshold: balance when busiest has this many more runnable threads.
   int imbalance_threshold = 2;
   TimeNs wakeup_granularity = Microseconds(500);
+
+  // --- delivery hardening (docs/FAULTS.md) ---
+  // All default-off: each one changes event timing, so the stock kernel must
+  // not schedule or absorb anything extra. The Testbed mirrors these from
+  // HardeningConfig so scenarios arm them uniformly.
+  //
+  // Absorb a resched/freeze IPI identical in (port, now) to the previous
+  // delivery on the same vCPU: back-to-back duplicates are idempotent no-ops
+  // instead of charging ipi_deliver_cost again.
+  bool ipi_dedup = false;
+  // Quiescence deadline for the freeze handshake: when > 0, FreezeCpu arms a
+  // deterministic check that re-sends the freeze IPI (doubling backoff, bounded
+  // resends) while the target has not evacuated — a lost kPortFreeze degrades
+  // to added latency instead of wedging the freeze forever.
+  TimeNs freeze_resend_ns = 0;
+  // Periodic-tick rescue of lost resched IPIs: each tick scans for vCPUs that
+  // sit hypervisor-blocked with runnable threads queued (the lost-wakeup
+  // signature) and re-kicks them, bounding a dropped wakeup at one tick.
+  bool tick_rescue = false;
 };
+
+// Upper bound on freeze-IPI re-sends per handshake (doubling backoff from
+// GuestConfig::freeze_resend_ns: covers ~256x the deadline before giving up).
+inline constexpr int kFreezeResendMax = 8;
 
 struct GuestCpuStats {
   int64_t timer_ints = 0;
@@ -69,6 +95,14 @@ struct GuestCpu {
   bool hv_running = false;          // vCPU currently holds a pCPU
   bool frozen = false;              // cpu_freeze_mask bit
   bool evacuate_pending = false;    // freeze requested; migrate everything on next entry
+  // ipi_dedup hardening memory: the (time, port) of the last resched/freeze
+  // delivery. Written only while the hardening is on, so stock stays untouched.
+  TimeNs last_ipi_at = -1;
+  EvtchnPort last_ipi_port = -1;
+  // freeze_resend hardening: bumped on every Freeze/Unfreeze so an in-flight
+  // resend chain from a superseded handshake dies instead of firing stale.
+  int64_t freeze_epoch = 0;
+  int freeze_resends_left = 0;
   GuestCpuStats stats;
 
   int load() const {
@@ -140,6 +174,25 @@ class GuestKernel : public GuestOs {
   bool IsFrozen(int cpu) const { return cpus_[static_cast<size_t>(cpu)].frozen; }
   uint64_t freeze_mask() const;
 
+  // --- guest-interior delivery fault domain (docs/FAULTS.md) ---
+  // Arms the kIpiDrop/kIpiDup/kIpiDelay/kPortMask site hooks on every
+  // intra-domain notification (resched, freeze and timer ports). Null (the
+  // default) leaves delivery perfect and the hook provably inert.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  // Harness hook: chain from FaultInjector::on_transition. A closing kPortMask
+  // window flushes the coalesced pending bits — one notification per
+  // (cpu, port) pair, cpu-id then port order, Xen evtchn semantics.
+  void OnFaultTransition(const FaultEvent& ev, bool began);
+  // Delivery-fault and hardening counters (digest-absorbed; see docs/FAULTS.md).
+  int64_t delivery_drops() const { return delivery_drops_; }
+  int64_t delivery_dups() const { return delivery_dups_; }
+  int64_t delivery_delays() const { return delivery_delays_; }
+  int64_t delivery_coalesced() const { return delivery_coalesced_; }
+  int64_t delivery_flushes() const { return delivery_flushes_; }
+  int64_t freeze_resends() const { return freeze_resends_; }
+  int64_t dup_ipis_ignored() const { return dup_ipis_ignored_; }
+  int64_t tick_rescues() const { return tick_rescues_; }
+
   // --- Linux CPU hotplug baseline (stop_machine; paper section 6 & Fig. 5) ---
   // Removes/adds a vCPU the legacy way: halts every online vCPU for the sampled
   // stop_machine window, then migrates. Returns the modeled latency.
@@ -180,6 +233,17 @@ class GuestKernel : public GuestOs {
   void IdleBalance(GuestCpu& c);
   void MigrateThread(GuestThread& t, GuestCpu& from, GuestCpu& to);
   void SendReschedIpi(int from_cpu, int to_cpu, EvtchnPort port = kPortResched);
+  // The single seam every intra-domain notification crosses: applies the
+  // delivery fault domain (mask -> drop -> delay -> dup, in that precedence)
+  // before handing the event to the hypervisor. Ports outside the IPI class
+  // (pv-lock kicks, I/O irqs) bypass it — their loss is not survivable and
+  // real Xen retries them in the slow path, so they stay reliable here.
+  void NotifyVcpu(int target, EvtchnPort port, bool urgent);
+  static bool FaultablePort(EvtchnPort port) {
+    return port == kPortResched || port == kPortFreeze || port == kPortTimer;
+  }
+  // Arms/extends the freeze_resend_ns quiescence-deadline chain for `target`.
+  void ScheduleFreezeResend(int target, TimeNs delay, int64_t epoch);
   // Settles and re-arms the vCPU of cpu `c` after out-of-context state mutation.
   void TouchVcpu(GuestCpu& c);
   void MaybeGoIdle(GuestCpu& c);
@@ -255,6 +319,18 @@ class GuestKernel : public GuestOs {
 
   int total_group_power_ = 0;  // sum of online CPU capacities (1024 each)
   int rq_scan_start_ = 0;      // rotates find_idlest_cpu tie-breaking
+
+  // --- delivery fault domain state ---
+  FaultInjector* faults_ = nullptr;       // null: delivery is perfect
+  std::vector<uint64_t> masked_pending_;  // per-cpu evtchn pending bits (kPortMask)
+  int64_t delivery_drops_ = 0;
+  int64_t delivery_dups_ = 0;       // extra deliveries injected
+  int64_t delivery_delays_ = 0;
+  int64_t delivery_coalesced_ = 0;  // sends absorbed into a masked pending bit
+  int64_t delivery_flushes_ = 0;    // coalesced notifications released at window end
+  int64_t freeze_resends_ = 0;
+  int64_t dup_ipis_ignored_ = 0;
+  int64_t tick_rescues_ = 0;
 
   // Reentrancy guard: depth of OnDeadline/DeliverEvent processing per cpu would be
   // overkill; a single kernel-wide flag suffices to suppress nested TouchVcpu.

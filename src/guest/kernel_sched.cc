@@ -155,7 +155,7 @@ void GuestKernel::SendReschedIpi(int from_cpu, int to_cpu, EvtchnPort port) {
     // kicks feed the send->delivery latency histogram.
     VSCALE_STALL_HOOK(OnIpiSent(domain_.id(), to_cpu, hv_.Now()));
   }
-  hv_.NotifyEvent(domain_.id(), to_cpu, port, /*urgent=*/false);
+  NotifyVcpu(to_cpu, port, /*urgent=*/false);
 }
 
 void GuestKernel::WakeThread(GuestThread& t, EvtchnPort wake_port) {

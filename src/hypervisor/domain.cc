@@ -22,6 +22,16 @@ int Domain::n_active_vcpus() const {
   return n;
 }
 
+uint64_t Domain::hv_freeze_mask() const {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < vcpus_.size(); ++i) {
+    if (vcpus_[i].frozen) {
+      mask |= 1ULL << i;
+    }
+  }
+  return mask;
+}
+
 TimeNs Domain::TotalRuntime() const {
   TimeNs total = 0;
   for (const auto& v : vcpus_) {

@@ -90,6 +90,10 @@ class Domain {
 
   // Active (credit-earning) vCPUs: not frozen.
   int n_active_vcpus() const;
+  // Hypervisor-side view of frozen vCPUs, bit i = vcpu i. The tri-state
+  // reconciler (src/vscale/reconciler.cc) cross-checks this against the guest's
+  // cpu_freeze_mask to catch a lost/garbled freeze handshake.
+  uint64_t hv_freeze_mask() const;
 
   GuestOs* guest() const { return guest_; }
   void set_guest(GuestOs* guest) { guest_ = guest; }

@@ -70,6 +70,29 @@ StateDigest& StateDigest::AbsorbGuest(const GuestKernel& kernel) {
     Absorb(s.io_irqs);
     Absorb(s.guest_switches);
   }
+  // Delivery fault-domain and hardening counters, absorbed only when at least
+  // one of them fired. In an unfaulted, unhardened run every counter is
+  // provably zero (the seams are all behind `faults_`/config checks), so
+  // skipping them keeps every pre-existing scenario's digest bit-identical —
+  // while any run the new fault domain actually touched absorbs the full
+  // vector and makes a dropped/duplicated IPI that somehow converged to
+  // identical thread stats still distinguishable. The branch is a pure
+  // function of run state, so double-run identity is unaffected.
+  const int64_t delivery_sum =
+      kernel.delivery_drops() + kernel.delivery_dups() +
+      kernel.delivery_delays() + kernel.delivery_coalesced() +
+      kernel.delivery_flushes() + kernel.freeze_resends() +
+      kernel.dup_ipis_ignored() + kernel.tick_rescues();
+  if (delivery_sum > 0) {
+    Absorb(kernel.delivery_drops());
+    Absorb(kernel.delivery_dups());
+    Absorb(kernel.delivery_delays());
+    Absorb(kernel.delivery_coalesced());
+    Absorb(kernel.delivery_flushes());
+    Absorb(kernel.freeze_resends());
+    Absorb(kernel.dup_ipis_ignored());
+    Absorb(kernel.tick_rescues());
+  }
   for (const auto& t : kernel.threads()) {
     Absorb(t->name());
     Absorb(t->cpu_time);

@@ -26,6 +26,10 @@ const char* const kCoverPointNames[kNumCoveragePoints] = {
     "fault.freeze_fail",
     "fault.freeze_hang",
     "fault.steal_burst",
+    "fault.ipi_drop",
+    "fault.ipi_dup",
+    "fault.ipi_delay",
+    "fault.port_mask",
     "daemon.degraded",
     "daemon.resumed",
     "daemon.crashed",
@@ -67,6 +71,10 @@ const char* const kCoverPointNames[kNumCoveragePoints] = {
     "pair.freeze_fail_degraded",
     "pair.freeze_hang_degraded",
     "pair.steal_burst_degraded",
+    "pair.ipi_drop_degraded",
+    "pair.ipi_dup_degraded",
+    "pair.ipi_delay_degraded",
+    "pair.port_mask_degraded",
     "pair.channel_stale_crashed",
     "pair.channel_garbled_crashed",
     "pair.channel_fail_crashed",
@@ -76,10 +84,26 @@ const char* const kCoverPointNames[kNumCoveragePoints] = {
     "pair.freeze_fail_crashed",
     "pair.freeze_hang_crashed",
     "pair.steal_burst_crashed",
+    "pair.ipi_drop_crashed",
+    "pair.ipi_dup_crashed",
+    "pair.ipi_delay_crashed",
+    "pair.port_mask_crashed",
+    "pair.ipi_drop_freeze_inflight",
+    "pair.ipi_dup_freeze_inflight",
+    "pair.ipi_delay_freeze_inflight",
+    "pair.port_mask_freeze_inflight",
+    "reconcile.divergence",
+    "reconcile.repair",
+    "reconcile.converged",
+    "hardening.freeze_resend",
+    "hardening.tick_rescue",
+    "hardening.ipi_dedup",
 };
 
 // FaultKind block widths; mirrors kNumFaultKinds without importing the enum.
-constexpr int kFaultKinds = 9;
+constexpr int kFaultKinds = 13;
+// Width of the delivery-fault sub-block (kIpiDrop..kPortMask).
+constexpr int kDeliveryFaultKinds = 4;
 
 }  // namespace
 
@@ -262,6 +286,32 @@ void CoverageMap::OnWatchdogTrip() {
 
 void CoverageMap::OnWatchdogRecovery() {
   Record(CoveragePoint::kWatchdogRecovery);
+}
+
+void CoverageMap::OnDeliveryFaultDuringFreeze(int idx) {
+  if (idx < 0 || idx >= kDeliveryFaultKinds) return;
+  Record(static_cast<CoveragePoint>(
+      static_cast<int>(CoveragePoint::kPairIpiDropFreezeInflight) + idx));
+}
+
+void CoverageMap::OnFreezeResend() {
+  Record(CoveragePoint::kHardeningFreezeResend);
+}
+
+void CoverageMap::OnTickRescue() { Record(CoveragePoint::kHardeningTickRescue); }
+
+void CoverageMap::OnIpiDedup() { Record(CoveragePoint::kHardeningIpiDedup); }
+
+void CoverageMap::OnReconcileDivergence() {
+  Record(CoveragePoint::kReconcileDivergence);
+}
+
+void CoverageMap::OnReconcileRepair() {
+  Record(CoveragePoint::kReconcileRepair);
+}
+
+void CoverageMap::OnReconcileConverged() {
+  Record(CoveragePoint::kReconcileConverged);
 }
 
 void CoverageMap::OnStallDominant(StallBucket b) {

@@ -20,7 +20,12 @@
 //   shape.*           scenario-shape bins: domain count, primary vCPU width,
 //                     consolidation, policy, antagonist/hardening presence
 //   pair.*            compound features: a fault kind injected while the
-//                     daemon was already degraded / crashed
+//                     daemon was already degraded / crashed, and a delivery
+//                     fault landing while a freeze handshake was in flight
+//   reconcile.*       the tri-state reconciler saw divergence / repaired it /
+//                     audited a converged state (src/vscale/reconciler.cc)
+//   hardening.freeze_resend / tick_rescue / ipi_dedup
+//                     a delivery-hardening reaction actually fired
 //
 // Like the Tracer and the StallAccountant before it, the map is a pure
 // observer: off by default, it never mutates simulation state and never
@@ -62,6 +67,10 @@ enum class CoveragePoint : int {
   kFaultFreezeFail,
   kFaultFreezeHang,
   kFaultStealBurst,
+  kFaultIpiDrop,
+  kFaultIpiDup,
+  kFaultIpiDelay,
+  kFaultPortMask,
   // Daemon degradation states entered (src/vscale/daemon.cc seams).
   kDaemonDegraded,
   kDaemonResumed,
@@ -114,6 +123,10 @@ enum class CoveragePoint : int {
   kPairFreezeFailDegraded,
   kPairFreezeHangDegraded,
   kPairStealBurstDegraded,
+  kPairIpiDropDegraded,
+  kPairIpiDupDegraded,
+  kPairIpiDelayDegraded,
+  kPairPortMaskDegraded,
   kPairChannelStaleCrashed,
   kPairChannelGarbledCrashed,
   kPairChannelFailCrashed,
@@ -123,9 +136,28 @@ enum class CoveragePoint : int {
   kPairFreezeFailCrashed,
   kPairFreezeHangCrashed,
   kPairStealBurstCrashed,
+  kPairIpiDropCrashed,
+  kPairIpiDupCrashed,
+  kPairIpiDelayCrashed,
+  kPairPortMaskCrashed,
+  // Delivery fault landing while a freeze handshake was in flight (some cpu
+  // mid-evacuation) — the compound the resend/reconciler hardening exists for.
+  // kIpiDrop..kPortMask order (src/guest/kernel.cc NotifyVcpu).
+  kPairIpiDropFreezeInflight,
+  kPairIpiDupFreezeInflight,
+  kPairIpiDelayFreezeInflight,
+  kPairPortMaskFreezeInflight,
+  // Tri-state reconciler edges (src/vscale/reconciler.cc).
+  kReconcileDivergence,
+  kReconcileRepair,
+  kReconcileConverged,
+  // Delivery-hardening reactions (src/guest/kernel.cc).
+  kHardeningFreezeResend,
+  kHardeningTickRescue,
+  kHardeningIpiDedup,
 };
 
-inline constexpr int kNumCoveragePoints = 59;
+inline constexpr int kNumCoveragePoints = 81;
 
 // Stable dotted lowercase names ("fault.channel_stale", "shape.dedicated",
 // ...): the documented interface of the catalogue, used by cov_report output,
@@ -194,6 +226,19 @@ class CoverageMap {
   // --- watchdog (src/vscale/watchdog.cc) -----------------------------------
   void OnWatchdogTrip();
   void OnWatchdogRecovery();
+
+  // --- delivery fault domain & hardening (src/guest/kernel.cc) -------------
+  // `idx` is the fault kind relative to kIpiDrop (0..3), recorded when the
+  // fault fires while some cpu is mid-evacuation (freeze in flight).
+  void OnDeliveryFaultDuringFreeze(int idx);
+  void OnFreezeResend();
+  void OnTickRescue();
+  void OnIpiDedup();
+
+  // --- tri-state reconciler (src/vscale/reconciler.cc) ---------------------
+  void OnReconcileDivergence();
+  void OnReconcileRepair();
+  void OnReconcileConverged();
 
   // --- stall attribution (src/obs/stall_accounting.cc, FinishRun) ----------
   void OnStallDominant(StallBucket b);

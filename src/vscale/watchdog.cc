@@ -5,6 +5,7 @@
 #include "src/base/check.h"
 #include "src/base/trace.h"
 #include "src/obs/coverage.h"
+#include "src/vscale/reconciler.h"
 
 namespace vscale {
 
@@ -76,6 +77,9 @@ void VscaleWatchdog::Check() {
   }
   kernel_.cpu(0).pending_kernel_ns += emergency_cost;
   daemon_.OnWatchdogTrip();
+  if (reconciler_ != nullptr) {
+    reconciler_->OnWatchdogTrip();
+  }
 }
 
 }  // namespace vscale

@@ -38,6 +38,8 @@ struct WatchdogConfig {
   void Validate() const;
 };
 
+class VscaleReconciler;
+
 class VscaleWatchdog {
  public:
   VscaleWatchdog(GuestKernel& kernel, VscaleDaemon& daemon, WatchdogConfig config);
@@ -45,6 +47,11 @@ class VscaleWatchdog {
   // Arms the periodic check. Call once, after the daemon's Start().
   void Start();
   void Stop();
+
+  // Optional tri-state reconciler (reconciler.h): notified on every trip so a
+  // freeze-state wedge behind the dead daemon is audited immediately — "tripped
+  // but never reconverged" becomes a detectable, repairable state.
+  void set_reconciler(VscaleReconciler* r) { reconciler_ = r; }
 
   bool tripped() const { return tripped_; }
   int64_t trips() const { return trips_; }
@@ -60,6 +67,7 @@ class VscaleWatchdog {
   VscaleDaemon& daemon_;
   WatchdogConfig config_;
   PeriodicTask task_;
+  VscaleReconciler* reconciler_ = nullptr;
 
   bool tripped_ = false;
   int64_t trips_ = 0;

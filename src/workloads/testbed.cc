@@ -50,6 +50,9 @@ void HardeningConfig::Validate() const {
   VS_REQUIRE(waited_cap_ratio >= 0.0,
              "HardeningConfig.waited_cap_ratio must be >= 0 (0 = uncapped; got %f)",
              waited_cap_ratio);
+  VS_REQUIRE(freeze_resend_ns >= 0,
+             "HardeningConfig.freeze_resend_ns must be >= 0 (0 = off; got %lld)",
+             static_cast<long long>(freeze_resend_ns));
 }
 
 void TestbedConfig::Validate() const {
@@ -84,6 +87,9 @@ void TestbedConfig::Validate() const {
     watchdog.Validate();
   }
   hardening.Validate();
+  if (hardening.reconciler) {
+    reconciler.Validate();
+  }
   for (const AntagonistConfig& a : antagonists) {
     a.Validate();
   }
@@ -135,10 +141,18 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
   GuestConfig gc;
   gc.pv_spinlock = PolicyUsesPvlock(config_.policy);
 
+  // Delivery hardening applies to the VM under test only: desktops and
+  // antagonists keep the stock kernel so their timing is untouched.
+  GuestConfig primary_gc = gc;
+  primary_gc.ipi_dedup = config_.hardening.ipi_dedup;
+  primary_gc.freeze_resend_ns = config_.hardening.freeze_resend_ns;
+  primary_gc.tick_rescue = config_.hardening.tick_rescue;
+
   Domain& prime = machine_->CreateDomain(
       "primary", config_.weight_per_vcpu * config_.primary_vcpus,
       config_.primary_vcpus);
-  primary_kernel_ = std::make_unique<GuestKernel>(*machine_, machine_->sim(), prime, gc);
+  primary_kernel_ = std::make_unique<GuestKernel>(*machine_, machine_->sim(),
+                                                  prime, primary_gc);
 
   Rng seeder(config_.seed ^ 0x5eedULL);
   if (config_.crunch_mean > 0 && config_.quiet_mean > 0) {
@@ -180,15 +194,22 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     plan.seed = plan.seed != 0 ? plan.seed : config_.seed;
     injector_ = std::make_unique<FaultInjector>(machine_->sim(), plan);
     // Steal bursts act on the machine directly (pCPUs lost to other pools); the
-    // rest of the fault kinds bite at the channel/daemon/balancer hooks below.
-    injector_->on_transition = [this](const FaultEvent& ev, bool) {
+    // delivery faults bite inside the primary guest's NotifyVcpu seam (armed
+    // below); the rest of the fault kinds bite at the channel/daemon/balancer
+    // hooks further down.
+    injector_->on_transition = [this](const FaultEvent& ev, bool began) {
       if (ev.kind == FaultKind::kStealBurst) {
         const bool active = injector_->Active(FaultKind::kStealBurst);
         machine_->SetStolenPcpus(
             active ? static_cast<int>(injector_->Magnitude(FaultKind::kStealBurst))
                    : 0);
       }
+      // A closing kPortMask window flushes the primary's coalesced pending bits.
+      primary_kernel_->OnFaultTransition(ev, began);
     };
+    // The delivery fault domain scopes to the VM under test: background VMs'
+    // notifications stay perfect (their kernels never see the injector).
+    primary_kernel_->set_fault_injector(injector_.get());
     injector_->Arm();
   }
 
@@ -215,6 +236,14 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
       }
       watchdog_ = std::make_unique<VscaleWatchdog>(*primary_kernel_, *daemon_, wc);
       watchdog_->Start();
+    }
+    if (config_.hardening.reconciler) {
+      reconciler_ = std::make_unique<VscaleReconciler>(
+          *primary_kernel_, *machine_, daemon_.get(), config_.reconciler);
+      reconciler_->Start();
+      if (watchdog_ != nullptr) {
+        watchdog_->set_reconciler(reconciler_.get());
+      }
     }
     if (config_.vscale_in_background) {
       for (auto& bk : background_kernels_) {
@@ -286,6 +315,15 @@ Testbed::Testbed(TestbedConfig config) : config_(config) {
     reg.RegisterGauge(prefix + "vscale.watchdog_trips", [w] { return w->trips(); });
     reg.RegisterGauge(prefix + "vscale.watchdog_recoveries",
                       [w] { return w->recoveries(); });
+  }
+  if (reconciler_ != nullptr) {
+    VscaleReconciler* r = reconciler_.get();
+    reg.RegisterGauge(prefix + "vscale.reconcile.cycles",
+                      [r] { return r->cycles(); });
+    reg.RegisterGauge(prefix + "vscale.reconcile.divergence_detected",
+                      [r] { return r->divergence_detected(); });
+    reg.RegisterGauge(prefix + "vscale.reconcile.repairs",
+                      [r] { return r->repairs(); });
   }
 }
 

@@ -15,6 +15,7 @@
 #include "src/guest/kernel.h"
 #include "src/hypervisor/machine.h"
 #include "src/vscale/daemon.h"
+#include "src/vscale/reconciler.h"
 #include "src/vscale/ticker.h"
 #include "src/vscale/watchdog.h"
 #include "src/workloads/antagonist.h"
@@ -56,17 +57,39 @@ struct HardeningConfig {
   // DaemonConfig::plausibility_clamp — cross-check grow targets against
   // guest-observed demand (vs. inflated extendability reports).
   bool plausibility_clamp = false;
+  // --- delivery hardening (vs. the kIpiDrop/kIpiDup/kIpiDelay/kPortMask fault
+  // domain; mirrored into the primary VM's GuestConfig — docs/FAULTS.md) ---
+  // GuestConfig::ipi_dedup — absorb back-to-back duplicate resched/freeze IPIs.
+  bool ipi_dedup = false;
+  // GuestConfig::freeze_resend_ns — freeze-handshake quiescence deadline with
+  // bounded resend/backoff; 0 = off (a lost freeze IPI wedges forever).
+  TimeNs freeze_resend_ns = 0;
+  // GuestConfig::tick_rescue — periodic-tick re-kick of lost resched wakeups.
+  bool tick_rescue = false;
+  // Arm the tri-state reconciler (src/vscale/reconciler.h) on the primary VM
+  // under vScale policies; tune it via TestbedConfig::reconciler.
+  bool reconciler = false;
 
   bool AnyEnabled() const {
     return acct_time_based || boost_budget > 0 || waited_cap_ratio > 0.0 ||
-           plausibility_clamp;
+           plausibility_clamp || ipi_dedup || freeze_resend_ns > 0 ||
+           tick_rescue || reconciler;
+  }
+
+  // Any delivery-layer hardening on? (the kNotificationLost oracle arms when a
+  // scenario pairs a delivery fault with at least one of these).
+  bool AnyDeliveryEnabled() const {
+    return ipi_dedup || freeze_resend_ns > 0 || tick_rescue || reconciler;
   }
 
   friend bool operator==(const HardeningConfig& a, const HardeningConfig& b) {
     return a.acct_time_based == b.acct_time_based &&
            a.boost_budget == b.boost_budget &&
            a.waited_cap_ratio == b.waited_cap_ratio &&
-           a.plausibility_clamp == b.plausibility_clamp;
+           a.plausibility_clamp == b.plausibility_clamp &&
+           a.ipi_dedup == b.ipi_dedup &&
+           a.freeze_resend_ns == b.freeze_resend_ns &&
+           a.tick_rescue == b.tick_rescue && a.reconciler == b.reconciler;
   }
   friend bool operator!=(const HardeningConfig& a, const HardeningConfig& b) {
     return !(a == b);
@@ -103,6 +126,9 @@ struct TestbedConfig {
   // The daemon-liveness watchdog, armed for vScale policies (no daemon, no watchdog).
   WatchdogConfig watchdog;
   bool enable_watchdog = true;
+  // Tri-state reconciler tuning; constructed only when hardening.reconciler is
+  // set (and the policy runs vScale), so stock runs schedule nothing extra.
+  ReconcilerConfig reconciler;
   // Stall-attribution accounting (docs/OBSERVABILITY.md). Off by default; like
   // tracing it never mutates simulation state, so an enabled run digests
   // bit-identically to a disabled one (tools/digest_run --stall-check).
@@ -144,6 +170,7 @@ class Testbed {
   ExtendabilityTicker* ticker() { return ticker_.get(); }
   FaultInjector* faults() { return injector_.get(); }
   VscaleWatchdog* watchdog() { return watchdog_.get(); }
+  VscaleReconciler* reconciler() { return reconciler_.get(); }
 
   // Runs until `stop` returns true or `deadline` passes; returns whether stop fired.
   bool RunUntil(const std::function<bool()>& stop, TimeNs deadline);
@@ -191,6 +218,7 @@ class Testbed {
   std::vector<std::unique_ptr<VscaleDaemon>> background_daemons_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<VscaleWatchdog> watchdog_;
+  std::unique_ptr<VscaleReconciler> reconciler_;
 };
 
 }  // namespace vscale

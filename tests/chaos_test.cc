@@ -19,6 +19,7 @@
 #include "src/hypervisor/machine.h"
 #include "src/metrics/state_digest.h"
 #include "src/vscale/daemon.h"
+#include "src/vscale/reconciler.h"
 #include "src/vscale/ticker.h"
 #include "src/vscale/watchdog.h"
 #include "src/workloads/testbed.h"
@@ -207,6 +208,124 @@ TEST(ChaosTest, CrashAndStealCompoundRecoversToo) {
   EXPECT_EQ(rig.daemon->restarts(), 1);
   EXPECT_GT(rig.machine->total_stolen_ns(), Milliseconds(250));
   EXPECT_EQ(rig.online(), 2);
+  EXPECT_EQ(InvariantViolationCount(), 0u);
+}
+
+// A minimal rig for the guest-interior delivery fault domain: one busy vCPU,
+// one idle vCPU (the wedging freeze target — a running target self-evacuates
+// at its next boundary regardless of the IPI), and a fault plan on the
+// kernel's notification seam. No daemon: the handshake is driven directly so
+// the freeze lands at a known instant inside the fault window.
+struct DeliveryRig {
+  DeliveryRig(const char* spec, GuestConfig gc, bool with_reconciler) {
+    MachineConfig mc;
+    mc.n_pcpus = 2;
+    machine = std::make_unique<Machine>(mc);
+    Domain& prime = machine->CreateDomain("vm", 512, 2);
+    kernel = std::make_unique<GuestKernel>(*machine, machine->sim(), prime, gc);
+    flag = kernel->CreateSpinFlag();
+    body = std::make_unique<SpinnyBody>(flag);
+    kernel->Spawn("spin", body.get(), ThreadType::kUthread, /*pinned_cpu=*/0);
+    FaultPlan plan;
+    std::string error;
+    EXPECT_TRUE(ParseFaultPlan(spec, &plan, &error)) << error;
+    injector = std::make_unique<FaultInjector>(machine->sim(), plan);
+    injector->on_transition = [this](const FaultEvent& ev, bool began) {
+      kernel->OnFaultTransition(ev, began);
+    };
+    kernel->set_fault_injector(injector.get());
+    injector->Arm();
+    if (with_reconciler) {
+      reconciler = std::make_unique<VscaleReconciler>(
+          *kernel, *machine, /*daemon=*/nullptr, ReconcilerConfig{});
+      reconciler->Start();
+    }
+  }
+
+  void RunUntil(TimeNs t) { machine->sim().RunUntil(t); }
+  Domain& dom() { return machine->domain(0); }
+
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<GuestKernel> kernel;
+  int flag = -1;
+  std::unique_ptr<SpinnyBody> body;
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<VscaleReconciler> reconciler;
+};
+
+// The regression the freeze_resend hardening exists for: a freeze IPI dropped
+// toward an idle vCPU. The resend chain (5 ms doubling backoff) keeps
+// re-sending through the drop window and converges shortly after it closes.
+TEST(ChaosTest, DroppedFreezeIpiResendChainConverges) {
+  ResetInvariantViolationCount();
+  GuestConfig gc;
+  gc.freeze_resend_ns = Milliseconds(5);
+  DeliveryRig rig("ipi-drop@100ms+30ms", gc, /*with_reconciler=*/false);
+  rig.machine->sim().ScheduleAt(Milliseconds(110), [&rig] {
+    rig.kernel->cpu(0).pending_kernel_ns += rig.kernel->FreezeCpu(1);
+  });
+  // Mid-window: the original IPI (and the first resends) were dropped, the
+  // handshake is wedged mid-evacuation.
+  rig.RunUntil(Milliseconds(125));
+  EXPECT_TRUE(rig.kernel->IsFrozen(1));
+  EXPECT_TRUE(rig.kernel->cpu(1).evacuate_pending);
+  EXPECT_GT(rig.kernel->delivery_drops(), 0);
+  // The chain escapes the window (110+5+10+20 = 145 ms) and converges well
+  // inside the watchdog deadline.
+  rig.RunUntil(Milliseconds(400));
+  EXPECT_TRUE(rig.kernel->IsFrozen(1));
+  EXPECT_FALSE(rig.kernel->cpu(1).evacuate_pending);
+  EXPECT_GE(rig.kernel->freeze_resends(), 2);
+  EXPECT_EQ(rig.kernel->freeze_mask(), rig.dom().hv_freeze_mask());
+  EXPECT_EQ(rig.dom().vcpu(1).state, VcpuState::kBlocked);
+  EXPECT_EQ(InvariantViolationCount(), 0u);
+}
+
+// Pin the stock exposure the hardening closes: without resend (and without a
+// reconciler) the same dropped freeze IPI wedges the handshake forever.
+TEST(ChaosTest, StockKernelWedgesOnDroppedFreezeIpi) {
+  ResetInvariantViolationCount();
+  DeliveryRig rig("ipi-drop@100ms+30ms", GuestConfig{},
+                  /*with_reconciler=*/false);
+  rig.machine->sim().ScheduleAt(Milliseconds(110), [&rig] {
+    rig.kernel->cpu(0).pending_kernel_ns += rig.kernel->FreezeCpu(1);
+  });
+  rig.RunUntil(Seconds(2));
+  EXPECT_TRUE(rig.kernel->IsFrozen(1));
+  EXPECT_TRUE(rig.kernel->cpu(1).evacuate_pending) << "stock must still wedge "
+      "(if this converges, the bench's negative control is stale too)";
+  EXPECT_EQ(rig.kernel->freeze_resends(), 0);
+  EXPECT_EQ(InvariantViolationCount(), 0u);
+}
+
+// Tri-state reconciler, divergence-repair leg: the hypervisor's freeze mask is
+// perturbed mid-run (as a lost/garbled SCHEDOP_freezecpu would) so guest and
+// hypervisor disagree; the reconciler must detect within one audit period,
+// repair after grace by re-issuing the hypercall, and count the convergence.
+TEST(ChaosTest, ReconcilerRepairsPerturbedHvFreezeMask) {
+  ResetInvariantViolationCount();
+  DeliveryRig rig("", GuestConfig{}, /*with_reconciler=*/true);
+  rig.RunUntil(Milliseconds(50));
+  rig.kernel->cpu(0).pending_kernel_ns += rig.kernel->FreezeCpu(1);
+  rig.RunUntil(Milliseconds(100));
+  ASSERT_FALSE(rig.kernel->cpu(1).evacuate_pending);
+  ASSERT_EQ(rig.kernel->freeze_mask(), rig.dom().hv_freeze_mask());
+  ASSERT_EQ(rig.reconciler->divergence_detected(), 0);
+
+  // Tear the views apart: the hypervisor now believes vCPU1 is unfrozen while
+  // the guest's cpu_freeze_mask still has it frozen.
+  rig.machine->NotifyFreeze(rig.dom().id(), 1, false);
+  ASSERT_NE(rig.kernel->freeze_mask(), rig.dom().hv_freeze_mask());
+
+  // Detection within one 20 ms audit, repair after the 30 ms grace window.
+  rig.RunUntil(Milliseconds(300));
+  EXPECT_GE(rig.reconciler->divergence_detected(), 1);
+  EXPECT_GE(rig.reconciler->repairs(), 1);
+  EXPECT_GE(rig.reconciler->converged(), 1);
+  EXPECT_FALSE(rig.reconciler->divergent());
+  EXPECT_EQ(rig.kernel->freeze_mask(), rig.dom().hv_freeze_mask());
+  EXPECT_TRUE(rig.kernel->IsFrozen(1));
+  EXPECT_GT(rig.reconciler->cycles(), 0);
   EXPECT_EQ(InvariantViolationCount(), 0u);
 }
 

@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "src/faults/fault_injector.h"
+#include "src/faults/fault_plan.h"
 #include "src/guest/kernel.h"
 #include "src/hypervisor/machine.h"
 
@@ -301,6 +304,91 @@ TEST(GuestKernelTest, GroupPowerTracksOnlineCpus) {
   EXPECT_EQ(w.kernel->online_cpus(), 2);
   w.kernel->UnfreezeCpu(2);
   EXPECT_EQ(w.kernel->online_cpus(), 3);
+}
+
+// kIpiDup under the ipi_dedup hardening: the duplicated freeze/resched
+// deliveries land back to back at the same instant and the dedup memory
+// absorbs every one past the first, while the handshake still completes.
+TEST(GuestKernelTest, DupFreezeIpisAbsorbedByDedup) {
+  GuestConfig gc;
+  gc.ipi_dedup = true;
+  GuestWorld w(2, 2, gc);
+  w.kernel->Spawn("busy0", &w.Body({Op::Compute(Seconds(10))}, true));
+  w.kernel->Spawn("busy1", &w.Body({Op::Compute(Seconds(10))}, true));
+  FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(ParseFaultPlan("ipi-dup@10ms+900ms*3", &plan, &err)) << err;
+  FaultInjector inj(w.sim(), plan);
+  w.kernel->set_fault_injector(&inj);
+  inj.Arm();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    w.sim().RunUntil(Milliseconds(100 + 160 * cycle));
+    w.kernel->FreezeCpu(1);
+    w.sim().RunUntil(Milliseconds(180 + 160 * cycle));
+    w.kernel->UnfreezeCpu(1);
+  }
+  w.sim().RunUntil(Seconds(1));
+  EXPECT_GT(w.kernel->delivery_dups(), 0);
+  EXPECT_GT(w.kernel->dup_ipis_ignored(), 0);
+  // Duplication never corrupted the handshake: unfrozen, nothing pending.
+  EXPECT_EQ(w.kernel->freeze_mask(), 0u);
+  EXPECT_FALSE(w.kernel->cpu(1).evacuate_pending);
+}
+
+// The same storm on the stock kernel: the dedup counter stays untouched (the
+// hardening is provably off) and the handlers are idempotent anyway — extra
+// deliveries cost time but cannot corrupt the freeze state.
+TEST(GuestKernelTest, StockKernelToleratesDupIpisIdempotently) {
+  GuestWorld w(2, 2);
+  w.kernel->Spawn("busy0", &w.Body({Op::Compute(Seconds(10))}, true));
+  w.kernel->Spawn("busy1", &w.Body({Op::Compute(Seconds(10))}, true));
+  FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(ParseFaultPlan("ipi-dup@10ms+900ms*3", &plan, &err)) << err;
+  FaultInjector inj(w.sim(), plan);
+  w.kernel->set_fault_injector(&inj);
+  inj.Arm();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    w.sim().RunUntil(Milliseconds(100 + 160 * cycle));
+    w.kernel->FreezeCpu(1);
+    w.sim().RunUntil(Milliseconds(180 + 160 * cycle));
+    w.kernel->UnfreezeCpu(1);
+  }
+  w.sim().RunUntil(Seconds(1));
+  EXPECT_GT(w.kernel->delivery_dups(), 0);
+  EXPECT_EQ(w.kernel->dup_ipis_ignored(), 0);
+  EXPECT_EQ(w.kernel->freeze_mask(), 0u);
+  EXPECT_FALSE(w.kernel->cpu(1).evacuate_pending);
+}
+
+// Out-of-order replay: a stale freeze IPI arriving after the handshake already
+// completed (and even after a later unfreeze) must be a no-op in either
+// direction — the handlers key on evacuate_pending, not on the IPI itself.
+TEST(GuestKernelTest, StaleFreezeIpiReplayIsNoOp) {
+  GuestWorld w(4, 4);
+  for (int i = 0; i < 4; ++i) {
+    w.kernel->Spawn("w" + std::to_string(i),
+                    &w.Body({Op::Compute(Seconds(60))}, true));
+  }
+  w.sim().RunUntil(Milliseconds(100));
+  w.kernel->FreezeCpu(3);
+  w.sim().RunUntil(Milliseconds(200));
+  ASSERT_TRUE(w.kernel->IsFrozen(3));
+  ASSERT_FALSE(w.kernel->cpu(3).evacuate_pending);
+  // Replay the already-consumed freeze IPI twice while still frozen.
+  w.kernel->DeliverEvent(3, kPortFreeze);
+  w.kernel->DeliverEvent(3, kPortFreeze);
+  w.sim().RunUntil(Milliseconds(250));
+  EXPECT_TRUE(w.kernel->IsFrozen(3));
+  EXPECT_EQ(w.kernel->cpu(3).load(), 0);
+  // Unfreeze, then replay again: the stale IPI must not re-freeze or evacuate.
+  w.kernel->UnfreezeCpu(3);
+  w.sim().RunUntil(Milliseconds(400));
+  w.kernel->DeliverEvent(3, kPortFreeze);
+  w.sim().RunUntil(Milliseconds(600));
+  EXPECT_FALSE(w.kernel->IsFrozen(3));
+  EXPECT_FALSE(w.kernel->cpu(3).evacuate_pending);
+  EXPECT_GT(w.kernel->cpu(3).load(), 0);  // balancing repopulated it
 }
 
 TEST(GuestKernelTest, PinnedThreadStaysOnItsCpu) {

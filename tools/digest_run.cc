@@ -23,9 +23,11 @@
 //
 // Scenarios mirror the repo's entry points: `quickstart` is the README example
 // (baseline + vScale), `fig8` the spin-heavy bt run behind the Fig. 8 bench,
-// `fig9` the cg wait-time run behind the Fig. 9 bench, and `chaos` the compound
-// fault scenario of docs/FAULTS.md — faulted runs must replay bit-identically
-// too, or the fault plane itself has a determinism hole.
+// `fig9` the cg wait-time run behind the Fig. 9 bench, `chaos` the compound
+// fault scenario of docs/FAULTS.md, and `chaos-delivery` the guest-interior
+// delivery fault domain with the full hardening suite (dedup + resend +
+// tick rescue + reconciler) armed — faulted and self-healing runs must replay
+// bit-identically too, or the fault plane itself has a determinism hole.
 
 #include <algorithm>
 #include <cstdio>
@@ -52,12 +54,22 @@ using namespace vscale;
 // destructor freeze its gauges into the global registry.
 void RunCell(Policy policy, const char* app_name, int64_t spin_count,
              int64_t intervals, uint64_t seed, StateDigest* digest,
-             const char* fault_spec = nullptr, bool stall = false) {
+             const char* fault_spec = nullptr, bool stall = false,
+             bool hardened_delivery = false) {
   TestbedConfig cfg;
   cfg.policy = policy;
   cfg.primary_vcpus = 4;
   cfg.pool_pcpus = 4;  // 2 desktop VMs keep the pool consolidated
   cfg.seed = seed;
+  if (hardened_delivery) {
+    // The delivery hardening suite + reconciler (docs/FAULTS.md): the
+    // chaos-delivery scenario must replay bit-identically with all of the
+    // self-healing machinery live, or the hardening has a determinism hole.
+    cfg.hardening.ipi_dedup = true;
+    cfg.hardening.freeze_resend_ns = Milliseconds(5);
+    cfg.hardening.tick_rescue = true;
+    cfg.hardening.reconciler = true;
+  }
   cfg.stall_accounting = stall;
   if (fault_spec != nullptr) {
     std::string error;
@@ -113,6 +125,14 @@ const Scenario kScenarios[] = {
        RunCell(Policy::kVscale, "lu", kSpinCountDefault, 40, seed, d,
                "chan-stale@400ms+600ms;stall@1500ms+800ms;"
                "freeze-fail@3s+400ms;latency@4s+300ms*12;steal@5s+500ms*1");
+     }},
+    {"chaos-delivery",
+     "lu under hardened vScale with the delivery fault domain of docs/FAULTS.md",
+     [](uint64_t seed, StateDigest* d) {
+       RunCell(Policy::kVscale, "lu", kSpinCountDefault, 40, seed, d,
+               "ipi-drop@400ms+300ms;ipi-dup@900ms+300ms*2;"
+               "ipi-delay@1400ms+300ms*10;port-mask@1900ms+400ms*2",
+               /*stall=*/false, /*hardened_delivery=*/true);
      }},
 };
 
